@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 10 (bit-risk decay with added links)."""
+
+from repro.experiments.figure10_link_decay import run
+
+from .conftest import run_once
+
+
+def test_figure10_link_decay(benchmark):
+    result = run_once(benchmark, run)
+    rows = {row["network"]: row for row in result.rows}
+    assert len(rows) == 7
+
+    def curve(row):
+        out = []
+        for k in range(1, 9):
+            key = f"frac_after_{k}"
+            if key in row:
+                out.append(row[key])
+        return out
+
+    for name, row in rows.items():
+        fractions = curve(row)
+        if not fractions:
+            continue
+        # Monotone decay below 1.0.
+        assert fractions[0] < 1.0, name
+        assert all(
+            a >= b - 1e-9 for a, b in zip(fractions, fractions[1:])
+        ), name
+
+    # Paper shape: densely meshed Level3 improves least per added link
+    # among the networks that have candidates.
+    level3 = curve(rows["Level3"])
+    others = [
+        curve(rows[n])
+        for n in ("Sprint", "Tinet", "ATT")
+        if curve(rows[n])
+    ]
+    assert level3, "Level3 must have candidate links"
+    assert any(level3[0] > other[0] for other in others)

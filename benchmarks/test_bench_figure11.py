@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 11 (best new peering per regional)."""
+
+from repro.experiments.figure11_best_peering import run
+
+from .conftest import run_once
+
+TIER1 = {"Level3", "ATT", "Deutsche", "NTT", "Sprint", "Tinet", "Teliasonera"}
+
+
+def test_figure11_best_peering(benchmark):
+    result = run_once(benchmark, run)
+    assert len(result.rows) == 16
+    recommended = [
+        row for row in result.rows if row["best_new_peer"] != "(none)"
+    ]
+    assert len(recommended) >= 12
+    for row in recommended:
+        assert row["fraction_of_baseline"] <= 1.0 + 1e-9
+    # Paper shape: a majority of regionals pick AT&T or Tinet — the
+    # well-connected tier-1s absent from their existing transit.
+    att_or_tinet = [
+        row for row in recommended if row["best_new_peer"] in ("ATT", "Tinet")
+    ]
+    assert len(att_or_tinet) >= len(recommended) / 2
+    # And every recommendation is a tier-1 (regionals rarely help).
+    tier1_recs = [row for row in recommended if row["best_new_peer"] in TIER1]
+    assert len(tier1_recs) >= len(recommended) * 0.7

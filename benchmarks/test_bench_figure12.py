@@ -1,0 +1,40 @@
+"""Benchmark: regenerate Figure 12 (tier-1 case-study time series)."""
+
+import numpy as np
+
+from repro.experiments.figure12_tier1_casestudy import run
+
+from .conftest import run_once
+
+TIER1 = ("Level3", "ATT", "Deutsche", "NTT", "Sprint", "Tinet", "Teliasonera")
+
+
+def test_figure12_tier1_casestudy(benchmark):
+    result = run_once(benchmark, run)
+    by_storm = {}
+    for row in result.rows:
+        by_storm.setdefault(row["storm"], []).append(row)
+    assert set(by_storm) == {"Irene", "Katrina", "Sandy"}
+
+    def mean_rr(storm):
+        values = []
+        for row in by_storm[storm]:
+            values.extend(row[f"rr_{n}"] for n in TIER1 if f"rr_{n}" in row)
+        return float(np.mean(values))
+
+    def peak_scope(storm):
+        return max(
+            sum(row.get(f"in_scope_{n}", 0) for n in TIER1)
+            for row in by_storm[storm]
+        )
+
+    # Section 7.3 shape: Katrina affects far less infrastructure than
+    # Irene/Sandy, and the storm-time ratios track exposure.
+    assert peak_scope("Katrina") < peak_scope("Irene")
+    assert peak_scope("Katrina") < peak_scope("Sandy")
+    assert mean_rr("Sandy") >= mean_rr("Katrina") - 0.01
+    # Ratios stay in a plausible band throughout.
+    for rows in by_storm.values():
+        for row in rows:
+            for name in TIER1:
+                assert 0.0 <= row[f"rr_{name}"] < 0.8

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 13 (regional case-study time series)."""
+
+from repro.experiments.figure13_regional_casestudy import networks_in_scope, run
+
+from .conftest import run_once
+
+
+def test_figure13_regional_casestudy(benchmark):
+    result = run_once(benchmark, run)
+    by_storm = {}
+    for row in result.rows:
+        by_storm.setdefault(row["storm"], []).append(row)
+    assert set(by_storm) == {"Irene", "Katrina", "Sandy"}
+
+    # Only storm-exposed regionals appear; the >20% filter works.
+    for storm, rows in by_storm.items():
+        in_scope = networks_in_scope(storm)
+        for row in rows:
+            reported = [k[3:] for k in row if k.startswith("rr_")]
+            assert set(reported) == set(in_scope)
+            for name in reported:
+                assert 0.0 <= row[f"rr_{name}"] < 0.9
+
+    # The Gulf storm and the Atlantic storms hit different networks.
+    katrina_nets = set(networks_in_scope("Katrina"))
+    sandy_nets = set(networks_in_scope("Sandy"))
+    assert katrina_nets, "Katrina must expose at least one regional"
+    assert sandy_nets, "Sandy must expose at least one regional"
+    assert katrina_nets != sandy_nets

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 4 (KDE likelihood maps)."""
+
+from repro.experiments.figure4_kde_maps import run
+
+from .conftest import run_once
+
+
+def test_figure4_kde_maps(benchmark):
+    result = run_once(benchmark, run)
+    by_panel = {row["panel"]: row for row in result.rows}
+    assert set(by_panel) == {"A", "B", "C", "D", "E"}
+
+    hurricane = by_panel["A"]
+    tornado = by_panel["B"]
+    storm = by_panel["C"]
+    quake = by_panel["D"]
+
+    # Hurricanes mass on the coasts; tornado/storm in the plains belt;
+    # earthquakes in the west (the Figure 4 geography).
+    assert hurricane["mass_gulf_atlantic"] > hurricane["mass_west"]
+    assert tornado["mass_plains"] > tornado["mass_west"]
+    assert storm["mass_plains"] > storm["mass_west"]
+    assert quake["mass_west"] > quake["mass_gulf_atlantic"]
+    # Earthquake peak on the west coast.
+    assert quake["peak_lon"] < -100.0
+    # Hurricane peak in the southeast quadrant.
+    assert hurricane["peak_lat"] < 37.0

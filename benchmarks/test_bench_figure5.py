@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 5 (Irene forecast snapshots)."""
+
+from repro.experiments.figure5_irene_forecast import run
+
+from .conftest import run_once
+
+
+def test_figure5_irene_forecast(benchmark):
+    result = run_once(benchmark, run)
+    assert len(result.rows) == 3
+    lats = [row["center_lat"] for row in result.rows]
+    assert lats == sorted(lats)  # the storm tracks north
+    # Wind fields are well-formed at every panel.
+    for row in result.rows:
+        assert row["tropical_radius_mi"] >= row["hurricane_radius_mi"] >= 0
+    # Infrastructure coverage grows as Irene nears the northeast.
+    assert (
+        result.rows[-1]["tier1_pops_tropical_zone"]
+        > result.rows[0]["tier1_pops_tropical_zone"]
+    )

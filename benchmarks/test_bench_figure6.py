@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 6 (final storm scopes)."""
+
+from repro.experiments.figure6_storm_scope import run
+
+from .conftest import run_once
+
+
+def test_figure6_storm_scope(benchmark):
+    result = run_once(benchmark, run)
+    counts = {row["storm"]: row for row in result.rows}
+    assert set(counts) == {"Irene", "Katrina", "Sandy"}
+    # Advisory counts match Section 4.4 exactly.
+    assert counts["Katrina"]["advisories"] == 61
+    assert counts["Irene"]["advisories"] == 70
+    assert counts["Sandy"]["advisories"] == 60
+    # Section 7.3 shape: Katrina touches far less tier-1 infrastructure
+    # than Irene; Sandy the most.
+    katrina = counts["Katrina"]["tier1_pops_hurricane"]
+    irene = counts["Irene"]["tier1_pops_hurricane"]
+    sandy = counts["Sandy"]["tier1_pops_hurricane"]
+    assert katrina < irene <= sandy
+    assert katrina <= 12

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 7 (Level3 Houston->Boston routes)."""
+
+from repro.experiments.figure7_level3_route import run
+
+from .conftest import run_once
+
+
+def test_figure7_level3_route(benchmark):
+    result = run_once(benchmark, run)
+    assert len(result.rows) == 2
+    small, large = result.rows
+    assert small["gamma_h"] < large["gamma_h"]
+    for row in result.rows:
+        # RiskRoute trades miles for risk, never the reverse.
+        assert row["riskroute_miles"] >= row["shortest_miles"] - 1e-6
+        assert row["riskroute_bit_risk"] <= row["shortest_bit_risk"] + 1e-6
+    # Larger gamma_h -> the deviation grows (the Figure 7 visual).
+    assert large["riskroute_miles"] >= small["riskroute_miles"] - 1e-6
+    assert large["shared_pops"] <= small["shared_pops"] + 3

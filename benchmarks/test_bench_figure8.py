@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 8 (regional interdomain scatter)."""
+
+from repro.experiments.figure8_regional_scatter import run
+
+from .conftest import run_once
+
+
+def test_figure8_regional_scatter(benchmark):
+    result = run_once(benchmark, run)
+    assert len(result.rows) == 16
+    for row in result.rows:
+        assert 0.0 <= row["risk_reduction_ratio"] < 0.8
+        assert -0.05 <= row["distance_increase_ratio"] < 0.8
+    # A meaningful subset of regionals gets risk reduction clearly above
+    # its distance cost (the Digex/Gridnet/Hibernia/Bandcon quadrant).
+    favorable = [
+        row
+        for row in result.rows
+        if row["risk_reduction_ratio"] > 1.3 * max(row["distance_increase_ratio"], 1e-9)
+        and row["risk_reduction_ratio"] > 0.05
+    ]
+    assert len(favorable) >= 3

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 9 (ten best links per network)."""
+
+from repro.experiments.figure9_best_links import run
+
+from .conftest import run_once
+
+
+def test_figure9_best_links(benchmark):
+    result = run_once(benchmark, run)
+    by_network = {}
+    for row in result.rows:
+        by_network.setdefault(row["network"], []).append(row)
+    assert set(by_network) == {"Level3", "ATT", "Tinet"}
+    for name, rows in by_network.items():
+        assert 1 <= len(rows) <= 10
+        fractions = [row["fraction_of_baseline"] for row in rows]
+        # Ranked best-first and every suggestion strictly helps.
+        assert fractions == sorted(fractions)
+        assert all(f < 1.0 for f in fractions), name
+        # No impractical cross-country spans in the suggestions.
+        assert all(row["length_miles"] <= 2000.0 for row in rows)

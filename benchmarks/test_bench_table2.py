@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 2 (tier-1 rr/dr at two gammas)."""
+
+from repro.experiments.table2_tier1_ratios import run
+
+from .conftest import run_once
+
+
+def test_table2_tier1_ratios(benchmark):
+    result = run_once(benchmark, run)
+    rows = {row["network"]: row for row in result.rows}
+    assert len(rows) == 7
+
+    for name, row in rows.items():
+        # Raising gamma_h makes routing more risk-averse: both ratios grow.
+        assert row["rr_1e6"] >= row["rr_1e5"] - 1e-9, name
+        assert row["dr_1e6"] >= row["dr_1e5"] - 1e-9, name
+        assert 0.0 <= row["rr_1e5"] < 1.0
+        assert row["dr_1e5"] >= 0.0
+
+    # The paper's headline calibration point: Level3 at gamma_h = 1e5.
+    assert abs(rows["Level3"]["rr_1e5"] - 0.075) < 0.06
+    # Every network achieves a real reduction at 1e6.
+    assert all(row["rr_1e6"] > 0.02 for row in rows.values())

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (characteristic R^2)."""
+
+from repro.experiments.table3_characteristics import run
+
+from .conftest import run_once
+
+
+def test_table3_characteristics(benchmark):
+    result = run_once(benchmark, run)
+    r2 = {row["characteristic"]: row["rr_r2"] for row in result.rows}
+    assert set(r2) == {
+        "geographic_footprint",
+        "average_pop_risk",
+        "average_outdegree",
+        "pop_count",
+        "link_count",
+        "peer_count",
+    }
+    for value in r2.values():
+        assert 0.0 <= value <= 1.0
+    # Paper shape: size-type characteristics explain rr far better than
+    # average PoP risk (which cancels against the shortest-path baseline).
+    size_best = max(r2["geographic_footprint"], r2["pop_count"], r2["link_count"])
+    assert size_best > r2["average_pop_risk"]

@@ -1,0 +1,82 @@
+"""RiskRoute: a framework for mitigating network outage threats.
+
+A full reproduction of Eriksson, Durairajan & Barford, *RiskRoute: A
+Framework for Mitigating Network Outage Threats* (ACM CoNEXT 2013),
+including every substrate the paper depends on: a 23-network US topology
+corpus, synthetic census population, FEMA/NOAA disaster catalogs with
+trained kernel density fields, NHC-style hurricane advisories with an
+NLP parser, and the RiskRoute optimization framework itself.
+
+Typical entry points::
+
+    from repro import (
+        network_by_name, RiskModel, RiskRouter, intradomain_ratios,
+    )
+    net = network_by_name("Teliasonera")
+    model = RiskModel.for_network(net)
+    router = RiskRouter(net.distance_graph(), model)
+    route = router.risk_route(*net.pop_ids()[:2])
+"""
+
+from .core import (
+    InterdomainRouter,
+    PairRoutes,
+    ProvisioningAnalyzer,
+    RatioResult,
+    RiskRouter,
+    RouteResult,
+    best_new_peering,
+    bit_miles,
+    bit_risk_miles,
+    candidate_links,
+    intradomain_ratios,
+)
+from .risk import (
+    DEFAULT_GAMMA_F,
+    DEFAULT_GAMMA_H,
+    ForecastedRiskModel,
+    HistoricalRiskModel,
+    RiskModel,
+    default_historical_model,
+    no_forecast,
+)
+from .topology import (
+    InterdomainTopology,
+    Network,
+    all_networks,
+    corpus_peering,
+    network_by_name,
+    regional_networks,
+    tier1_networks,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Network",
+    "network_by_name",
+    "all_networks",
+    "tier1_networks",
+    "regional_networks",
+    "corpus_peering",
+    "InterdomainTopology",
+    "RiskModel",
+    "HistoricalRiskModel",
+    "ForecastedRiskModel",
+    "default_historical_model",
+    "no_forecast",
+    "DEFAULT_GAMMA_H",
+    "DEFAULT_GAMMA_F",
+    "RiskRouter",
+    "RouteResult",
+    "PairRoutes",
+    "RatioResult",
+    "intradomain_ratios",
+    "InterdomainRouter",
+    "ProvisioningAnalyzer",
+    "candidate_links",
+    "best_new_peering",
+    "bit_risk_miles",
+    "bit_miles",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface: ``riskroute``.
+
+Subcommands::
+
+    riskroute list                 # list experiments
+    riskroute run table2          # regenerate one table/figure
+    riskroute run all             # regenerate everything
+    riskroute corpus              # summarize the 23-network corpus
+    riskroute route Level3 "Houston, TX" "Boston, MA" [--gamma-h 1e5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.riskroute import RiskRouter
+from .experiments import get_experiment, registered_experiments
+from .risk.model import DEFAULT_GAMMA_F, DEFAULT_GAMMA_H, RiskModel
+from .topology.zoo import all_networks, network_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="riskroute",
+        description="RiskRoute (CoNEXT 2013) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="regenerate a table/figure")
+    run_p.add_argument("experiment", help="experiment id or 'all'")
+    run_p.add_argument(
+        "--format",
+        choices=("text", "json", "csv"),
+        default="text",
+        dest="fmt",
+        help="output format (default: text)",
+    )
+    run_p.add_argument(
+        "--output",
+        default=None,
+        help="write to this file instead of stdout (single experiment only)",
+    )
+
+    sub.add_parser("corpus", help="summarize the network corpus")
+
+    route_p = sub.add_parser("route", help="route one PoP pair")
+    route_p.add_argument("network", help="network name, e.g. Level3")
+    route_p.add_argument("source", help='source city key, e.g. "Houston, TX"')
+    route_p.add_argument("target", help='target city key, e.g. "Boston, MA"')
+    route_p.add_argument(
+        "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
+    )
+    route_p.add_argument(
+        "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for experiment_id in registered_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _cmd_run(experiment: str, fmt: str = "text", output: str = None) -> int:
+    from .experiments.export import to_csv, to_json, write_result
+
+    ids = (
+        registered_experiments() if experiment == "all" else [experiment]
+    )
+    if output is not None and len(ids) != 1:
+        print("--output requires a single experiment", file=sys.stderr)
+        return 2
+    for experiment_id in ids:
+        try:
+            run = get_experiment(experiment_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        result = run()
+        if output is not None:
+            write_result(result, output, fmt=fmt)
+            continue
+        if fmt == "json":
+            print(to_json(result))
+        elif fmt == "csv":
+            print(to_csv(result), end="")
+        else:
+            print(result.format_text())
+            print()
+    return 0
+
+
+def _cmd_corpus() -> int:
+    print(f"{'network':14s} {'tier':9s} {'pops':>5s} {'links':>6s} {'deg':>5s}")
+    for network in all_networks():
+        print(
+            f"{network.name:14s} {network.tier:9s} {network.pop_count:5d} "
+            f"{network.link_count:6d} {network.average_outdegree():5.2f}"
+        )
+    return 0
+
+
+def _cmd_route(
+    network_name: str, source_city: str, target_city: str,
+    gamma_h: float, gamma_f: float,
+) -> int:
+    try:
+        network = network_by_name(network_name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    source = f"{network_name}:{source_city}"
+    target = f"{network_name}:{target_city}"
+    if not network.has_pop(source) or not network.has_pop(target):
+        print(
+            f"PoP not found; available cities: "
+            f"{sorted({p.city for p in network.pops()})[:20]} ...",
+            file=sys.stderr,
+        )
+        return 2
+    model = RiskModel.for_network(network, gamma_h=gamma_h, gamma_f=gamma_f)
+    router = RiskRouter(network.distance_graph(), model)
+    pair = router.route_pair(source, target)
+    print(f"shortest  ({pair.shortest.bit_miles:8.1f} mi, "
+          f"{pair.shortest.bit_risk_miles:10.1f} brm): "
+          + " > ".join(p.split(":", 1)[1] for p in pair.shortest.path))
+    print(f"riskroute ({pair.riskroute.bit_miles:8.1f} mi, "
+          f"{pair.riskroute.bit_risk_miles:10.1f} brm): "
+          + " > ".join(p.split(":", 1)[1] for p in pair.riskroute.path))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment, fmt=args.fmt, output=args.output)
+    if args.command == "corpus":
+        return _cmd_corpus()
+    if args.command == "route":
+        return _cmd_route(
+            args.network, args.source, args.target, args.gamma_h, args.gamma_f
+        )
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

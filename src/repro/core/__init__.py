@@ -1,0 +1,98 @@
+"""The paper's contribution: bit-risk miles, RiskRoute, provisioning."""
+
+from .backup import (
+    BackupPath,
+    frr_backup_next_hops,
+    mpls_link_failover,
+    mpls_node_failover,
+)
+from .bitrisk import PathMetrics, bit_miles, bit_risk_miles, path_metrics
+from .characteristics import (
+    CHARACTERISTIC_NAMES,
+    NetworkCharacteristics,
+    characteristic_r_squared,
+    characteristics_of,
+)
+from .interdomain import (
+    BoundsResult,
+    InterdomainRouter,
+    regional_pair_population,
+)
+from .provisioning import (
+    CandidateLink,
+    LinkRecommendation,
+    PeeringRecommendation,
+    ProvisioningAnalyzer,
+    best_new_peering,
+    candidate_links,
+)
+from .monitoring import MonitorPlacement, coverage_of, place_monitors
+from .mrc import MrcScheme, RoutingConfiguration, build_mrc
+from .multiobjective import (
+    LatencyModel,
+    ParetoPath,
+    composite_route,
+    pareto_paths,
+)
+from .ospf import OspfWeightTable, export_ospf_weights, ospf_fidelity
+from .ratios import RatioResult, intradomain_ratios, ratios_over_pairs
+from .riskroute import PairRoutes, RiskRouter, RouteResult
+from .sharedrisk import SharedRiskReport, shared_risk_report, storm_shared_fate
+from .simulation import (
+    SimulatedDisaster,
+    SurvivalReport,
+    failed_pops,
+    route_survival,
+    sample_disasters,
+)
+
+__all__ = [
+    "PathMetrics",
+    "path_metrics",
+    "bit_risk_miles",
+    "bit_miles",
+    "RiskRouter",
+    "RouteResult",
+    "PairRoutes",
+    "RatioResult",
+    "intradomain_ratios",
+    "ratios_over_pairs",
+    "InterdomainRouter",
+    "BoundsResult",
+    "regional_pair_population",
+    "CandidateLink",
+    "LinkRecommendation",
+    "PeeringRecommendation",
+    "candidate_links",
+    "ProvisioningAnalyzer",
+    "best_new_peering",
+    "NetworkCharacteristics",
+    "characteristics_of",
+    "characteristic_r_squared",
+    "CHARACTERISTIC_NAMES",
+    "BackupPath",
+    "mpls_link_failover",
+    "mpls_node_failover",
+    "frr_backup_next_hops",
+    "LatencyModel",
+    "ParetoPath",
+    "pareto_paths",
+    "composite_route",
+    "OspfWeightTable",
+    "export_ospf_weights",
+    "ospf_fidelity",
+    "SharedRiskReport",
+    "shared_risk_report",
+    "storm_shared_fate",
+    "SimulatedDisaster",
+    "SurvivalReport",
+    "sample_disasters",
+    "failed_pops",
+    "route_survival",
+    "MonitorPlacement",
+    "place_monitors",
+    "coverage_of",
+    "MrcScheme",
+    "RoutingConfiguration",
+    "build_mrc",
+]

@@ -1,0 +1,101 @@
+"""Network characteristics and their correlation with RiskRoute gains
+(Table 3, Section 7.1.1).
+
+For each regional network the paper tabulates six structural
+characteristics and reports the R^2 of a linear fit against the measured
+risk-reduction and distance-increase ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from ..risk.model import RiskModel
+from ..topology.network import Network
+from ..topology.peering import PeeringGraph
+from ..stats.regression import linear_regression
+
+__all__ = [
+    "NetworkCharacteristics",
+    "characteristics_of",
+    "characteristic_r_squared",
+    "CHARACTERISTIC_NAMES",
+]
+
+#: The six characteristics of Table 3, in the paper's order.
+CHARACTERISTIC_NAMES = (
+    "geographic_footprint",
+    "average_pop_risk",
+    "average_outdegree",
+    "pop_count",
+    "link_count",
+    "peer_count",
+)
+
+
+@dataclass(frozen=True)
+class NetworkCharacteristics:
+    """The Table 3 feature vector of one network."""
+
+    network: str
+    geographic_footprint: float
+    average_pop_risk: float
+    average_outdegree: float
+    pop_count: int
+    link_count: int
+    peer_count: int
+
+    def value(self, name: str) -> float:
+        """Fetch a characteristic by its Table 3 name.
+
+        Raises:
+            KeyError: for an unknown characteristic.
+        """
+        if name not in CHARACTERISTIC_NAMES:
+            raise KeyError(f"unknown characteristic {name!r}")
+        return float(getattr(self, name))
+
+
+def characteristics_of(
+    network: Network, model: RiskModel, peering: PeeringGraph
+) -> NetworkCharacteristics:
+    """Compute the six Table 3 characteristics for a network."""
+    risks = [model.historical_risk(pop_id) for pop_id in network.pop_ids()]
+    mean_risk = sum(risks) / len(risks) if risks else 0.0
+    return NetworkCharacteristics(
+        network=network.name,
+        geographic_footprint=network.geographic_footprint_miles(),
+        average_pop_risk=mean_risk,
+        average_outdegree=network.average_outdegree(),
+        pop_count=network.pop_count,
+        link_count=network.link_count,
+        peer_count=peering.peer_count(network.name),
+    )
+
+
+def characteristic_r_squared(
+    characteristics: Sequence[NetworkCharacteristics],
+    outcomes: Mapping[str, float],
+) -> Dict[str, float]:
+    """R^2 of each characteristic against an outcome per network.
+
+    Args:
+        characteristics: one feature vector per network.
+        outcomes: network name -> measured ratio (rr or dr).
+
+    Returns:
+        characteristic name -> R^2 of the linear fit.
+
+    Raises:
+        ValueError: when fewer than three networks overlap the outcomes.
+    """
+    rows = [c for c in characteristics if c.network in outcomes]
+    if len(rows) < 3:
+        raise ValueError("need at least three networks for a meaningful fit")
+    y = [outcomes[c.network] for c in rows]
+    out: Dict[str, float] = {}
+    for name in CHARACTERISTIC_NAMES:
+        x = [c.value(name) for c in rows]
+        out[name] = linear_regression(x, y).r_squared
+    return out

@@ -1,0 +1,163 @@
+"""Interdomain RiskRoute (Section 6.2).
+
+When traffic crosses multiple networks the operator does not control
+every hop, so the paper brackets the achievable bit-risk miles between
+two bounds over the merged peering topology:
+
+* **upper bound** — geographic shortest-path routing through all peering
+  networks (a reasonable approximation of real inter-domain routes), and
+* **lower bound** — RiskRoute with full control of every network's
+  routing decisions.
+
+The ratio between the two is what Figure 8 plots per regional network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..graph.core import Graph
+from ..risk.model import RiskModel
+from ..topology.interdomain import InterdomainTopology
+from .ratios import RatioResult, ratios_over_pairs
+from .riskroute import PairRoutes, RiskRouter
+
+__all__ = ["InterdomainRouter", "BoundsResult", "regional_pair_population"]
+
+
+@dataclass(frozen=True)
+class BoundsResult:
+    """Upper/lower bit-risk-mile bounds for one PoP pair."""
+
+    pair: PairRoutes
+
+    @property
+    def upper_bound(self) -> float:
+        """Bit-risk miles of shortest-path routing (no risk control)."""
+        return self.pair.shortest.bit_risk_miles
+
+    @property
+    def lower_bound(self) -> float:
+        """Bit-risk miles with full RiskRoute control everywhere."""
+        return self.pair.riskroute.bit_risk_miles
+
+    @property
+    def bound_ratio(self) -> float:
+        """``upper / lower`` — how much control could buy (>= 1)."""
+        if self.lower_bound == 0.0:
+            return 1.0
+        return self.upper_bound / self.lower_bound
+
+
+class InterdomainRouter:
+    """Routes over a merged interdomain topology.
+
+    Args:
+        topology: the merged multi-network topology.
+        model: a risk model covering every PoP of the merge
+            (see :meth:`RiskModel.for_interdomain`).
+        extra_peerings: optional what-if peering relationships added on
+            top of the topology's AS graph (the Figure 11 knob).
+    """
+
+    def __init__(
+        self,
+        topology: InterdomainTopology,
+        model: RiskModel,
+        extra_peerings: Optional[Sequence[tuple]] = None,
+    ) -> None:
+        self.topology = topology
+        self.model = model
+        graph: Graph[str] = topology.merged_graph(extra_peerings=extra_peerings)
+        self._router = RiskRouter(graph, model)
+
+    @property
+    def router(self) -> RiskRouter:
+        """The underlying single-graph routing engine."""
+        return self._router
+
+    def bounds(self, source: str, target: str) -> BoundsResult:
+        """Upper and lower bit-risk-mile bounds for one pair.
+
+        Raises:
+            NoPathError: when the merged topology does not connect them.
+        """
+        return BoundsResult(self._router.route_pair(source, target))
+
+    def regional_ratios(
+        self,
+        regional_name: str,
+        destination_pops: Sequence[str],
+        exact: bool = False,
+    ) -> RatioResult:
+        """rr/dr for one regional network's interdomain traffic.
+
+        Per Section 7's protocol: every PoP of the regional network is a
+        source; destinations are the supplied PoP set (the paper uses all
+        PoPs of the 16 regional networks).
+
+        Args:
+            regional_name: the source network.
+            destination_pops: target PoPs (sources themselves excluded).
+            exact: per-pair optimization instead of the per-source
+                approximation (slow on the ~800-PoP merge).
+
+        Raises:
+            KeyError: for a network not in the merge.
+            ValueError: when no reachable pair exists.
+        """
+        if regional_name not in self.topology.networks:
+            raise KeyError(f"unknown network {regional_name!r}")
+        sources = self.topology.networks[regional_name].pop_ids()
+        destinations = set(destination_pops)
+        pairs: List[PairRoutes] = []
+        for source in sources:
+            shortest = self._router.shortest_from(source)
+            if exact:
+                risky = {
+                    t: self._router.risk_route(source, t)
+                    for t in shortest
+                    if t in destinations
+                }
+            else:
+                risky = self._router.approx_risk_routes_from(source)
+            for target, base in shortest.items():
+                if target == source or target not in destinations:
+                    continue
+                if target not in risky:
+                    continue
+                pairs.append(PairRoutes(shortest=base, riskroute=risky[target]))
+        return ratios_over_pairs(pairs)
+
+    def aggregate_lower_bound(
+        self, regional_name: str, destination_pops: Sequence[str]
+    ) -> float:
+        """Sum of lower-bound bit-risk miles for a regional's flows.
+
+        This is the objective the Figure 11 peering search minimises.
+        """
+        if regional_name not in self.topology.networks:
+            raise KeyError(f"unknown network {regional_name!r}")
+        sources = self.topology.networks[regional_name].pop_ids()
+        destinations = set(destination_pops)
+        total = 0.0
+        for source in sources:
+            for target, route in self._router.approx_risk_routes_from(
+                source
+            ).items():
+                if target in destinations and target != source:
+                    total += route.bit_risk_miles
+        return total
+
+
+def regional_pair_population(
+    topology: InterdomainTopology,
+) -> List[str]:
+    """The paper's interdomain destination set: every PoP of every
+    regional network in the merge."""
+    out: List[str] = []
+    for network in topology.networks.values():
+        if network.tier == "regional":
+            out.extend(network.pop_ids())
+    return out

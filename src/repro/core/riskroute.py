@@ -1,0 +1,218 @@
+"""The RiskRoute optimizer (Equation 3).
+
+Finding the minimum-bit-risk-miles route between PoPs ``i`` and ``j``
+reduces to a shortest-path search where relaxing an edge ``(u, v)``
+toward ``v`` costs ``d_uv + alpha_ij * node_risk(v)`` — the risk of a PoP
+is charged on *entering* it, so the source is free and the target is
+charged, exactly as Equation 1 sums over ``x = 2..K``.
+
+Because ``alpha_ij = c_i + c_j`` depends on both endpoints, the exact
+optimum needs one search per pair.  For all-targets sweeps the module
+also offers a *per-source approximation*: a single search from ``i``
+using the expected impact ``alpha_i = c_i + mean(c)``, whose paths are
+then re-scored exactly under each target's true ``alpha_ij``.  The
+approximation picks each path from a slightly perturbed objective but
+never mis-reports a cost; Section "Optimization and Computational
+Complexity" (6.4) of the paper glosses over this pair coupling entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..graph.core import Graph, NodeNotFoundError
+from ..graph.shortest_path import NoPathError, dijkstra, reconstruct_path
+from ..risk.model import RiskModel
+from .bitrisk import PathMetrics, path_metrics
+
+__all__ = ["RouteResult", "PairRoutes", "RiskRouter"]
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """One computed route with its metric decomposition."""
+
+    source: str
+    target: str
+    metrics: PathMetrics
+
+    @property
+    def path(self) -> tuple:
+        """The node path."""
+        return self.metrics.path
+
+    @property
+    def bit_miles(self) -> float:
+        """Pure mileage."""
+        return self.metrics.distance_miles
+
+    @property
+    def bit_risk_miles(self) -> float:
+        """Equation 1 cost."""
+        return self.metrics.bit_risk_miles
+
+
+@dataclass(frozen=True)
+class PairRoutes:
+    """Shortest-path and RiskRoute results for one PoP pair."""
+
+    shortest: RouteResult
+    riskroute: RouteResult
+
+    @property
+    def risk_ratio(self) -> float:
+        """``r(p_rr) / r(p_shortest)`` — the per-pair term of Equation 5."""
+        denominator = self.shortest.bit_risk_miles
+        if denominator == 0.0:
+            return 1.0
+        return self.riskroute.bit_risk_miles / denominator
+
+    @property
+    def distance_ratio(self) -> float:
+        """``d(p_rr) / d(p_shortest)`` — the per-pair term of Equation 6."""
+        denominator = self.shortest.bit_miles
+        if denominator == 0.0:
+            return 1.0
+        return self.riskroute.bit_miles / denominator
+
+
+def _risk_dijkstra(
+    graph: Graph[str],
+    node_risk: Mapping[str, float],
+    alpha: float,
+    source: str,
+    target: Optional[str] = None,
+) -> Tuple[Dict[str, float], Dict[str, str]]:
+    """Dijkstra with per-node entry costs scaled by ``alpha``."""
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target is not None and target not in graph:
+        raise NodeNotFoundError(target)
+    dist: Dict[str, float] = {source: 0.0}
+    parent: Dict[str, str] = {}
+    settled: set = set()
+    counter = 0
+    heap: List[Tuple[float, int, str]] = [(0.0, counter, source)]
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        for neighbor, weight in graph.neighbors(node).items():
+            if neighbor in settled:
+                continue
+            candidate = d + weight + alpha * node_risk[neighbor]
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                parent[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return dist, parent
+
+
+class RiskRouter:
+    """Routes one distance graph under one risk model."""
+
+    def __init__(self, graph: Graph[str], model: RiskModel) -> None:
+        for node in graph.nodes():
+            # Fail fast on a model/topology mismatch.
+            model.node_risk(node)
+        self.graph = graph
+        self.model = model
+        self._node_risk = model.node_risks()
+        shares = [model.share(n) for n in graph.nodes()]
+        self._mean_share = sum(shares) / len(shares) if shares else 0.0
+
+    # -- single-pair routing --------------------------------------------------
+
+    def shortest_path(self, source: str, target: str) -> RouteResult:
+        """Pure geographic shortest path (the paper's baseline).
+
+        Raises:
+            NoPathError: when disconnected.
+        """
+        dist, parent = dijkstra(self.graph, source, target=target)
+        if target not in dist:
+            raise NoPathError(source, target)
+        path = reconstruct_path(parent, source, target)
+        return RouteResult(source, target, path_metrics(self.graph, path, self.model))
+
+    def risk_route(self, source: str, target: str) -> RouteResult:
+        """The exact Equation 3 optimum for one pair.
+
+        Raises:
+            NoPathError: when disconnected.
+        """
+        alpha = self.model.impact(source, target)
+        dist, parent = _risk_dijkstra(
+            self.graph, self._node_risk, alpha, source, target=target
+        )
+        if target not in dist:
+            raise NoPathError(source, target)
+        path = reconstruct_path(parent, source, target)
+        return RouteResult(source, target, path_metrics(self.graph, path, self.model))
+
+    def route_pair(self, source: str, target: str) -> PairRoutes:
+        """Both routes for a pair, ready for ratio evaluation."""
+        return PairRoutes(
+            shortest=self.shortest_path(source, target),
+            riskroute=self.risk_route(source, target),
+        )
+
+    # -- per-source sweeps ------------------------------------------------------
+
+    def shortest_from(self, source: str) -> Dict[str, RouteResult]:
+        """Shortest paths from ``source`` to every reachable PoP."""
+        dist, parent = dijkstra(self.graph, source)
+        out: Dict[str, RouteResult] = {}
+        for target in dist:
+            if target == source:
+                continue
+            path = reconstruct_path(parent, source, target)
+            out[target] = RouteResult(
+                source, target, path_metrics(self.graph, path, self.model)
+            )
+        return out
+
+    def approx_risk_routes_from(self, source: str) -> Dict[str, RouteResult]:
+        """Near-optimal RiskRoute paths from ``source`` to all targets.
+
+        One search under the expected impact ``alpha_i = c_i + mean(c)``;
+        each returned route is re-scored exactly under its true pair
+        impact, so reported costs are exact for the paths chosen.
+        """
+        alpha = self.model.share(source) + self._mean_share
+        dist, parent = _risk_dijkstra(self.graph, self._node_risk, alpha, source)
+        out: Dict[str, RouteResult] = {}
+        for target in dist:
+            if target == source:
+                continue
+            path = reconstruct_path(parent, source, target)
+            out[target] = RouteResult(
+                source, target, path_metrics(self.graph, path, self.model)
+            )
+        return out
+
+    def risk_routes_from(
+        self, source: str, exact: bool = True
+    ) -> Dict[str, RouteResult]:
+        """RiskRoute paths from ``source`` to every reachable PoP.
+
+        ``exact=True`` runs one search per target (true Equation 3);
+        ``exact=False`` uses the per-source approximation.
+        """
+        if not exact:
+            return self.approx_risk_routes_from(source)
+        out: Dict[str, RouteResult] = {}
+        for target in self.graph.nodes():
+            if target == source:
+                continue
+            try:
+                out[target] = self.risk_route(source, target)
+            except NoPathError:
+                continue
+        return out

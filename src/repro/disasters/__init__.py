@@ -1,0 +1,51 @@
+"""Disaster substrate: event catalogs, generative models, trained KDEs."""
+
+from .catalog import (
+    PAPER_BANDWIDTHS,
+    all_event_kdes,
+    catalog_of,
+    event_kde,
+    full_catalog,
+    train_bandwidth,
+    trained_bandwidths,
+)
+from .events import (
+    PAPER_EVENT_COUNTS,
+    DisasterCatalog,
+    DisasterEvent,
+    EventType,
+)
+from .fema import (
+    FEMA_TOTAL_DECLARATIONS,
+    fema_catalog,
+    fema_hurricanes,
+    fema_storms,
+    fema_tornadoes,
+)
+from .generators import EVENT_MODELS, EventModel, generate_events
+from .noaa import noaa_catalog, noaa_earthquakes, noaa_wind
+
+__all__ = [
+    "EventType",
+    "DisasterEvent",
+    "DisasterCatalog",
+    "PAPER_EVENT_COUNTS",
+    "EVENT_MODELS",
+    "EventModel",
+    "generate_events",
+    "fema_hurricanes",
+    "fema_tornadoes",
+    "fema_storms",
+    "fema_catalog",
+    "FEMA_TOTAL_DECLARATIONS",
+    "noaa_wind",
+    "noaa_earthquakes",
+    "noaa_catalog",
+    "full_catalog",
+    "catalog_of",
+    "train_bandwidth",
+    "trained_bandwidths",
+    "event_kde",
+    "all_event_kdes",
+    "PAPER_BANDWIDTHS",
+]

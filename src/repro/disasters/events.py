@@ -1,0 +1,125 @@
+"""Disaster event records and catalogs (Section 4.3).
+
+The paper assembles five archival event classes: FEMA emergency
+declarations for hurricanes, tornadoes and severe storms (county-level,
+1970-2010), and NOAA-recorded damaging-wind and earthquake events.  A
+:class:`DisasterCatalog` is an immutable list of :class:`DisasterEvent`
+records with the filtering the risk pipeline needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from ..geo.coords import BoundingBox, GeoPoint
+from ..geo.regions import Region
+
+__all__ = ["EventType", "DisasterEvent", "DisasterCatalog", "PAPER_EVENT_COUNTS"]
+
+
+class EventType:
+    """The five event classes studied in the paper."""
+
+    FEMA_HURRICANE = "fema-hurricane"
+    FEMA_TORNADO = "fema-tornado"
+    FEMA_STORM = "fema-storm"
+    NOAA_EARTHQUAKE = "noaa-earthquake"
+    NOAA_WIND = "noaa-wind"
+
+    ALL = (
+        FEMA_HURRICANE,
+        FEMA_TORNADO,
+        FEMA_STORM,
+        NOAA_EARTHQUAKE,
+        NOAA_WIND,
+    )
+
+
+#: Event counts reported in Section 4.3 of the paper.
+PAPER_EVENT_COUNTS: Dict[str, int] = {
+    EventType.FEMA_HURRICANE: 2_805,
+    EventType.FEMA_TORNADO: 6_437,
+    EventType.FEMA_STORM: 20_623,
+    EventType.NOAA_EARTHQUAKE: 2_267,
+    EventType.NOAA_WIND: 143_847,
+}
+
+
+@dataclass(frozen=True)
+class DisasterEvent:
+    """One archival event: what, where, when."""
+
+    event_type: str
+    location: GeoPoint
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.event_type not in EventType.ALL:
+            raise ValueError(f"unknown event type {self.event_type!r}")
+        if not 1900 <= self.year <= 2100:
+            raise ValueError(f"implausible event year {self.year}")
+
+
+class DisasterCatalog:
+    """An immutable, typed collection of disaster events."""
+
+    def __init__(self, events: Iterable[DisasterEvent]) -> None:
+        self._events: Tuple[DisasterEvent, ...] = tuple(events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[DisasterEvent]:
+        return iter(self._events)
+
+    def events(self) -> Tuple[DisasterEvent, ...]:
+        """All events."""
+        return self._events
+
+    def locations(self) -> List[GeoPoint]:
+        """Event locations in catalog order."""
+        return [event.location for event in self._events]
+
+    def event_types(self) -> List[str]:
+        """Distinct event types present, sorted."""
+        return sorted({event.event_type for event in self._events})
+
+    def of_type(self, event_type: str) -> "DisasterCatalog":
+        """Sub-catalog of one event class.
+
+        Raises:
+            ValueError: for an unknown event type.
+        """
+        if event_type not in EventType.ALL:
+            raise ValueError(f"unknown event type {event_type!r}")
+        return DisasterCatalog(
+            e for e in self._events if e.event_type == event_type
+        )
+
+    def between_years(self, first: int, last: int) -> "DisasterCatalog":
+        """Events with ``first <= year <= last`` (inclusive)."""
+        if first > last:
+            raise ValueError("first year must not exceed last year")
+        return DisasterCatalog(
+            e for e in self._events if first <= e.year <= last
+        )
+
+    def within(self, area) -> "DisasterCatalog":
+        """Events inside a :class:`BoundingBox` or :class:`Region`."""
+        if isinstance(area, (BoundingBox, Region)):
+            return DisasterCatalog(
+                e for e in self._events if area.contains(e.location)
+            )
+        raise TypeError(f"expected BoundingBox or Region, got {type(area)}")
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Event count per class."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.event_type] = counts.get(event.event_type, 0) + 1
+        return counts
+
+    def merged_with(self, other: "DisasterCatalog") -> "DisasterCatalog":
+        """Concatenate two catalogs."""
+        return DisasterCatalog(self._events + other.events())

@@ -1,0 +1,30 @@
+"""Experiment modules: one per table/figure of the paper's evaluation."""
+
+from . import (  # noqa: F401  (import for registration side effects)
+    figure4_kde_maps,
+    figure5_irene_forecast,
+    figure6_storm_scope,
+    figure7_level3_route,
+    figure8_regional_scatter,
+    figure9_best_links,
+    figure10_link_decay,
+    figure11_best_peering,
+    figure12_tier1_casestudy,
+    figure13_regional_casestudy,
+    table1_bandwidths,
+    table2_tier1_ratios,
+    table3_characteristics,
+)
+from .base import (
+    ExperimentResult,
+    get_experiment,
+    register,
+    registered_experiments,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "registered_experiments",
+    "get_experiment",
+]

@@ -1,0 +1,95 @@
+"""Shared experiment plumbing.
+
+Every table and figure of the paper's evaluation section is regenerated
+by one module in this package.  Each exposes a ``run()`` returning an
+:class:`ExperimentResult` — a typed bundle of rows that the benchmark
+harness asserts on and the CLI renders as text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+__all__ = ["ExperimentResult", "register", "registered_experiments", "get_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of regenerating one table or figure."""
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]]
+    notes: str = ""
+
+    def column_names(self) -> List[str]:
+        """Union of row keys, first-seen order."""
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def format_text(self) -> str:
+        """Render as an aligned text table (the CLI output)."""
+        header = f"== {self.experiment_id}: {self.title} =="
+        if not self.rows:
+            return header + "\n(no rows)"
+        names = self.column_names()
+
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            return str(value)
+
+        widths = {
+            name: max(len(name), *(len(fmt(r.get(name, ""))) for r in self.rows))
+            for name in names
+        }
+        lines = [header]
+        lines.append("  ".join(name.ljust(widths[name]) for name in names))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    fmt(row.get(name, "")).ljust(widths[name]) for name in names
+                )
+            )
+        if self.notes:
+            lines.append(f"-- {self.notes}")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator registering an experiment's ``run`` under an id."""
+
+    def wrap(func: Callable[[], ExperimentResult]):
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return wrap
+
+
+def registered_experiments() -> List[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Fetch an experiment's run() by id.
+
+    Raises:
+        KeyError: for an unknown id.
+    """
+    if experiment_id not in _REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"have {registered_experiments()}"
+        )
+    return _REGISTRY[experiment_id]

@@ -1,0 +1,66 @@
+"""Run experiments in bulk and emit a summary.
+
+``python -m repro.experiments.runner`` regenerates every registered
+table/figure and prints them; ``--fast`` skips the two most expensive
+sweeps (Table 1 retraining and the Figure 10 greedy build-out).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from . import get_experiment, registered_experiments
+from .base import ExperimentResult
+
+__all__ = ["run_many", "main"]
+
+#: Experiments skipped in --fast mode (each takes minutes).
+SLOW_EXPERIMENTS = ("table1", "figure10", "figure12", "figure13")
+
+
+def run_many(
+    ids: Optional[Sequence[str]] = None, fast: bool = False
+) -> Dict[str, ExperimentResult]:
+    """Run experiments by id (all registered by default).
+
+    Args:
+        ids: explicit experiment ids; defaults to all.
+        fast: drop the slow experiments from the default set.
+
+    Returns:
+        id -> result, in execution order.
+    """
+    selected = list(ids) if ids is not None else registered_experiments()
+    if fast and ids is None:
+        selected = [i for i in selected if i not in SLOW_EXPERIMENTS]
+    out: Dict[str, ExperimentResult] = {}
+    for experiment_id in selected:
+        out[experiment_id] = get_experiment(experiment_id)()
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point for the bulk runner."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures",
+    )
+    parser.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument(
+        "--fast", action="store_true", help="skip the slowest experiments"
+    )
+    args = parser.parse_args(argv)
+    ids = args.ids or None
+    started = time.time()
+    for experiment_id, result in run_many(ids, fast=args.fast).items():
+        print(result.format_text())
+        print()
+    print(f"(total {time.time() - started:.1f}s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Table 1: trained kernel density bandwidths for FEMA and NOAA data."""
+
+from __future__ import annotations
+
+from ..disasters.catalog import (
+    PAPER_BANDWIDTHS,
+    PRETRAINED_BANDWIDTHS,
+    train_bandwidth,
+)
+from ..disasters.events import EventType, PAPER_EVENT_COUNTS
+from .base import ExperimentResult, register
+
+_LABELS = {
+    EventType.FEMA_HURRICANE: "FEMA Hurricane",
+    EventType.FEMA_TORNADO: "FEMA Tornado",
+    EventType.FEMA_STORM: "FEMA Storm",
+    EventType.NOAA_EARTHQUAKE: "NOAA Earthquake",
+    EventType.NOAA_WIND: "NOAA Wind",
+}
+
+
+@register("table1")
+def run(retrain: bool = True) -> ExperimentResult:
+    """Regenerate Table 1.
+
+    Args:
+        retrain: run the 5-fold cross validation (the real experiment);
+            False reports the shipped pretrained constants only.
+    """
+    rows = []
+    for event_type in EventType.ALL:
+        if retrain:
+            result = train_bandwidth(event_type)
+            bandwidth = result.best_bandwidth_miles
+            events_used = result.n_events_used
+        else:
+            bandwidth = PRETRAINED_BANDWIDTHS[event_type]
+            events_used = 0
+        rows.append(
+            {
+                "event_type": _LABELS[event_type],
+                "entries": PAPER_EVENT_COUNTS[event_type],
+                "bandwidth_miles": bandwidth,
+                "paper_bandwidth": PAPER_BANDWIDTHS[event_type],
+                "cv_events_used": events_used,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Trained kernel density bandwidths (5-fold CV, KL divergence)",
+        rows=rows,
+        notes=(
+            "Expected shape: wind < storm < tornado < hurricane < earthquake. "
+            "Absolute values differ from the paper (synthetic catalogs; "
+            "miles-scale kernel), ordering is the reproduced result."
+        ),
+    )

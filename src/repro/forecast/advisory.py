@@ -1,0 +1,142 @@
+"""NHC-style public advisories (Section 4.4).
+
+The paper's forecast data is the text of National Hurricane Center public
+advisories.  This module renders a :class:`TrackFix` into the same
+tele-type prose the paper quotes (all caps, ``...`` ellipses, miles and
+kilometres) so the NLP parser consumes exactly the format the authors
+parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import List
+
+from ..geo.coords import GeoPoint
+from .track import StormTrack
+
+__all__ = ["Advisory", "advisory_text", "advisories_for_track"]
+
+_MILES_TO_KM = 1.609344
+
+_COMPASS = (
+    "NORTH", "NORTH-NORTHEAST", "NORTHEAST", "EAST-NORTHEAST",
+    "EAST", "EAST-SOUTHEAST", "SOUTHEAST", "SOUTH-SOUTHEAST",
+    "SOUTH", "SOUTH-SOUTHWEST", "SOUTHWEST", "WEST-SOUTHWEST",
+    "WEST", "WEST-NORTHWEST", "NORTHWEST", "NORTH-NORTHWEST",
+)
+
+
+def compass_name(bearing_degrees: float) -> str:
+    """Nearest 16-point compass name for a bearing."""
+    index = int((bearing_degrees % 360.0) / 22.5 + 0.5) % 16
+    return _COMPASS[index]
+
+
+@dataclass(frozen=True)
+class Advisory:
+    """One public advisory: a numbered snapshot of a storm."""
+
+    storm_name: str
+    number: int
+    time: datetime
+    center: GeoPoint
+    max_wind_mph: float
+    hurricane_radius_miles: float
+    tropical_radius_miles: float
+    motion_bearing_degrees: float
+    motion_speed_mph: float
+
+    def __post_init__(self) -> None:
+        if self.number < 1:
+            raise ValueError("advisory numbers start at 1")
+        if self.tropical_radius_miles < self.hurricane_radius_miles:
+            raise ValueError("tropical radius must cover hurricane radius")
+
+    @property
+    def is_hurricane(self) -> bool:
+        """True at hurricane intensity."""
+        return self.max_wind_mph >= 74.0
+
+    @property
+    def storm_class(self) -> str:
+        """"HURRICANE" or "TROPICAL STORM" per sustained winds."""
+        return "HURRICANE" if self.is_hurricane else "TROPICAL STORM"
+
+
+def _latitude_phrase(lat: float) -> str:
+    hemi = "NORTH" if lat >= 0 else "SOUTH"
+    return f"LATITUDE {abs(lat):.1f} {hemi}"
+
+
+def _longitude_phrase(lon: float) -> str:
+    hemi = "EAST" if lon >= 0 else "WEST"
+    return f"LONGITUDE {abs(lon):.1f} {hemi}"
+
+
+def advisory_text(advisory: Advisory) -> str:
+    """Render the advisory as NHC-style public advisory text.
+
+    The output reproduces the phrasing the paper quotes for Hurricane
+    Irene, including the header block with the advisory number and
+    timestamp and the ``MILES...KM`` doubled units.
+    """
+    name = advisory.storm_name.upper()
+    lines: List[str] = []
+    lines.append(f"BULLETIN")
+    lines.append(
+        f"{advisory.storm_class} {name} ADVISORY NUMBER {advisory.number}"
+    )
+    lines.append("NWS NATIONAL HURRICANE CENTER MIAMI FL")
+    lines.append(advisory.time.strftime("%I00 %p EDT %a %b %d %Y").upper())
+    lines.append("")
+    lines.append(
+        f"...THE CENTER OF {advisory.storm_class} {name} WAS LOCATED NEAR "
+        f"{_latitude_phrase(advisory.center.lat)}..."
+        f"{_longitude_phrase(advisory.center.lon)}."
+    )
+    direction = compass_name(advisory.motion_bearing_degrees)
+    speed = int(round(advisory.motion_speed_mph))
+    lines.append(
+        f"{name} IS MOVING TOWARD THE {direction} NEAR {speed} MPH..."
+    )
+    wind = int(round(advisory.max_wind_mph))
+    lines.append(f"MAXIMUM SUSTAINED WINDS ARE NEAR {wind} MPH...")
+    h_miles = int(round(advisory.hurricane_radius_miles))
+    h_km = int(round(advisory.hurricane_radius_miles * _MILES_TO_KM))
+    t_miles = int(round(advisory.tropical_radius_miles))
+    t_km = int(round(advisory.tropical_radius_miles * _MILES_TO_KM))
+    if h_miles > 0:
+        lines.append(
+            f"HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO {h_miles} "
+            f"MILES...{h_km} KM...FROM THE CENTER...AND "
+            f"TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO {t_miles} "
+            f"MILES...{t_km} KM..."
+        )
+    else:
+        lines.append(
+            f"TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO {t_miles} "
+            f"MILES...{t_km} KM...FROM THE CENTER..."
+        )
+    return "\n".join(lines)
+
+
+def advisories_for_track(track: StormTrack) -> List[Advisory]:
+    """Number every fix of a track into a sequence of advisories."""
+    advisories: List[Advisory] = []
+    for i, fix in enumerate(track.fixes(), start=1):
+        advisories.append(
+            Advisory(
+                storm_name=track.name,
+                number=i,
+                time=fix.time,
+                center=fix.center,
+                max_wind_mph=fix.max_wind_mph,
+                hurricane_radius_miles=fix.hurricane_radius_miles,
+                tropical_radius_miles=fix.tropical_radius_miles,
+                motion_bearing_degrees=fix.motion_bearing_degrees,
+                motion_speed_mph=fix.motion_speed_mph,
+            )
+        )
+    return advisories

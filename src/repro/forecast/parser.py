@@ -1,0 +1,130 @@
+"""Natural-language parsing of hurricane advisory text (Section 4.4).
+
+The paper extracts three facts from each NOAA public advisory by natural
+language parsing: the current storm centre, the radius of hurricane-force
+winds, and the radius of tropical-storm-force winds.  This module is that
+parser: regular-expression extraction over the tele-type advisory prose,
+tolerant of the formatting quirks of real NHC bulletins (doubled
+``MILES...KM`` units, line wrapping, optional header fields).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geo.coords import GeoPoint
+
+__all__ = ["ParsedAdvisory", "AdvisoryParseError", "parse_advisory_text"]
+
+
+class AdvisoryParseError(ValueError):
+    """Raised when required facts cannot be extracted from advisory text."""
+
+
+@dataclass(frozen=True)
+class ParsedAdvisory:
+    """The facts the risk model needs from one advisory."""
+
+    storm_name: Optional[str]
+    advisory_number: Optional[int]
+    center: GeoPoint
+    hurricane_radius_miles: float
+    tropical_radius_miles: float
+    motion_speed_mph: Optional[float]
+    motion_direction: Optional[str]
+    max_wind_mph: Optional[float]
+
+
+_CENTER_RE = re.compile(
+    r"LATITUDE\s+(?P<lat>\d+(?:\.\d+)?)\s+(?P<lat_hemi>NORTH|SOUTH)"
+    r".{0,40}?"
+    r"LONGITUDE\s+(?P<lon>\d+(?:\.\d+)?)\s+(?P<lon_hemi>EAST|WEST)",
+    re.DOTALL,
+)
+_HURRICANE_RE = re.compile(
+    r"HURRICANE[-\s]FORCE\s+WINDS\s+EXTEND\s+OUTWARD\s+UP\s+TO\s+"
+    r"(?P<miles>\d+)\s+MILES"
+)
+_TROPICAL_RE = re.compile(
+    r"TROPICAL[-\s]STORM[-\s]FORCE\s+WINDS\s+EXTEND\s+OUTWARD\s+UP\s+TO\s+"
+    r"(?P<miles>\d+)\s+MILES"
+)
+_MOTION_RE = re.compile(
+    r"MOVING\s+TOWARD\s+THE\s+(?P<direction>[A-Z-]+)\s+NEAR\s+"
+    r"(?P<speed>\d+)\s+MPH"
+)
+_MAX_WIND_RE = re.compile(
+    r"MAXIMUM\s+SUSTAINED\s+WINDS\s+ARE\s+NEAR\s+(?P<mph>\d+)\s+MPH"
+)
+_HEADER_RE = re.compile(
+    r"(?:HURRICANE|TROPICAL\s+STORM|POST-TROPICAL\s+CYCLONE)\s+"
+    r"(?P<name>[A-Z]+)\s+(?:SPECIAL\s+)?ADVISORY\s+NUMBER\s+"
+    r"(?P<number>\d+)"
+)
+
+
+def parse_advisory_text(text: str) -> ParsedAdvisory:
+    """Extract storm facts from advisory text.
+
+    The centre position and tropical-storm wind radius are mandatory; an
+    absent hurricane-force sentence yields a zero hurricane radius (the
+    storm is below hurricane strength, as in late Sandy advisories).
+
+    Raises:
+        AdvisoryParseError: when the centre or the tropical radius cannot
+            be found, or when radii are inconsistent.
+    """
+    if not text or not text.strip():
+        raise AdvisoryParseError("empty advisory text")
+    upper = text.upper()
+
+    center_match = _CENTER_RE.search(upper)
+    if center_match is None:
+        raise AdvisoryParseError("no storm centre found in advisory text")
+    lat = float(center_match.group("lat"))
+    if center_match.group("lat_hemi") == "SOUTH":
+        lat = -lat
+    lon = float(center_match.group("lon"))
+    if center_match.group("lon_hemi") == "WEST":
+        lon = -lon
+    try:
+        center = GeoPoint(lat, lon)
+    except ValueError as exc:
+        raise AdvisoryParseError(f"implausible centre: {exc}") from exc
+
+    tropical_match = _TROPICAL_RE.search(upper)
+    if tropical_match is None:
+        raise AdvisoryParseError("no tropical-storm wind radius found")
+    tropical_radius = float(tropical_match.group("miles"))
+
+    hurricane_match = _HURRICANE_RE.search(upper)
+    hurricane_radius = (
+        float(hurricane_match.group("miles")) if hurricane_match else 0.0
+    )
+    if hurricane_radius > tropical_radius:
+        raise AdvisoryParseError(
+            f"hurricane radius {hurricane_radius} exceeds tropical radius "
+            f"{tropical_radius}"
+        )
+
+    motion_match = _MOTION_RE.search(upper)
+    header_match = _HEADER_RE.search(upper)
+    wind_match = _MAX_WIND_RE.search(upper)
+    return ParsedAdvisory(
+        storm_name=header_match.group("name") if header_match else None,
+        advisory_number=(
+            int(header_match.group("number")) if header_match else None
+        ),
+        center=center,
+        hurricane_radius_miles=hurricane_radius,
+        tropical_radius_miles=tropical_radius,
+        motion_speed_mph=(
+            float(motion_match.group("speed")) if motion_match else None
+        ),
+        motion_direction=(
+            motion_match.group("direction") if motion_match else None
+        ),
+        max_wind_mph=float(wind_match.group("mph")) if wind_match else None,
+    )

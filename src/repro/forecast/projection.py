@@ -1,0 +1,187 @@
+"""Forecast projection: routing around where the storm *will* be.
+
+The paper reroutes against each advisory's current wind field; real NHC
+advisories also carry forecast positions at 12/24/48/72-hour leads, and
+an operator pre-positioning backup routes cares about the storm's future
+scope.  This module projects an advisory forward along its reported
+motion vector, grows the threatened area with the standard cone of
+uncertainty (forecast error increasing with lead time), and produces an
+*anticipatory* risk field — the union of the current wind field and the
+projected ones, with risk discounted by lead time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..geo.coords import GeoPoint
+from ..geo.distance import destination_point
+from .advisory import Advisory
+from .risk import RHO_HURRICANE, RHO_TROPICAL, ForecastSnapshot
+
+__all__ = [
+    "CONE_GROWTH_MILES_PER_HOUR",
+    "ProjectedPosition",
+    "project_advisory",
+    "anticipatory_snapshots",
+    "AnticipatoryRiskField",
+]
+
+#: Growth of the NHC cone of uncertainty, ~linearised: the official
+#: 2/3-probability circle reaches ~100 nm (115 mi) at 48 h.
+CONE_GROWTH_MILES_PER_HOUR = 2.4
+
+#: Default forecast leads, hours (matching NHC advisory structure).
+DEFAULT_LEADS_HOURS = (12.0, 24.0, 48.0)
+
+#: Risk discount per projected hour: a threat 48 h out counts ~1/3 of a
+#: current one (operators weight immediacy).
+LEAD_DISCOUNT_PER_HOUR = 0.023
+
+
+@dataclass(frozen=True)
+class ProjectedPosition:
+    """The storm's forecast state at one lead time."""
+
+    lead_hours: float
+    center: GeoPoint
+    hurricane_radius_miles: float
+    tropical_radius_miles: float
+    cone_radius_miles: float
+
+    @property
+    def threatened_radius_miles(self) -> float:
+        """Tropical wind radius inflated by forecast uncertainty."""
+        return self.tropical_radius_miles + self.cone_radius_miles
+
+
+def project_advisory(
+    advisory: Advisory,
+    leads_hours: Sequence[float] = DEFAULT_LEADS_HOURS,
+) -> List[ProjectedPosition]:
+    """Project an advisory forward along its motion vector.
+
+    The centre advances at the advisory's reported speed and bearing;
+    wind radii are carried forward unchanged (NHC's own persistence
+    baseline) and the cone radius grows linearly with lead time.
+
+    Raises:
+        ValueError: for negative lead times.
+    """
+    out: List[ProjectedPosition] = []
+    for lead in leads_hours:
+        if lead < 0:
+            raise ValueError("lead times must be non-negative")
+        travel = advisory.motion_speed_mph * lead
+        center = (
+            destination_point(
+                advisory.center, advisory.motion_bearing_degrees, travel
+            )
+            if travel > 0
+            else advisory.center
+        )
+        out.append(
+            ProjectedPosition(
+                lead_hours=float(lead),
+                center=center,
+                hurricane_radius_miles=advisory.hurricane_radius_miles,
+                tropical_radius_miles=advisory.tropical_radius_miles,
+                cone_radius_miles=CONE_GROWTH_MILES_PER_HOUR * float(lead),
+            )
+        )
+    return out
+
+
+def anticipatory_snapshots(
+    advisory: Advisory,
+    leads_hours: Sequence[float] = DEFAULT_LEADS_HOURS,
+    rho_tropical: float = RHO_TROPICAL,
+    rho_hurricane: float = RHO_HURRICANE,
+) -> List[Tuple[float, ForecastSnapshot]]:
+    """The current plus projected wind fields with per-lead risk weights.
+
+    Returns ``(weight, snapshot)`` pairs: the advisory's own field at
+    weight 1.0, then each projection's field (cone-inflated) at the
+    lead-time discount.
+    """
+    pairs: List[Tuple[float, ForecastSnapshot]] = [
+        (
+            1.0,
+            ForecastSnapshot(
+                center=advisory.center,
+                hurricane_radius_miles=advisory.hurricane_radius_miles,
+                tropical_radius_miles=advisory.tropical_radius_miles,
+                rho_tropical=rho_tropical,
+                rho_hurricane=rho_hurricane,
+            ),
+        )
+    ]
+    for projection in project_advisory(advisory, leads_hours):
+        weight = max(
+            0.0, 1.0 - LEAD_DISCOUNT_PER_HOUR * projection.lead_hours
+        )
+        if weight <= 0.0:
+            continue
+        pairs.append(
+            (
+                weight,
+                ForecastSnapshot(
+                    center=projection.center,
+                    hurricane_radius_miles=(
+                        projection.hurricane_radius_miles
+                        + projection.cone_radius_miles
+                    ),
+                    tropical_radius_miles=projection.threatened_radius_miles,
+                    rho_tropical=rho_tropical,
+                    rho_hurricane=rho_hurricane,
+                ),
+            )
+        )
+    return pairs
+
+
+class AnticipatoryRiskField:
+    """``o_f`` combining current and projected threat.
+
+    A drop-in alternative to
+    :class:`~repro.risk.forecasted.ForecastedRiskModel`: the risk at a
+    location is the maximum over the weighted fields, so infrastructure
+    in the storm's *projected* path is already priced before the winds
+    arrive.
+    """
+
+    def __init__(
+        self,
+        advisory: Advisory,
+        leads_hours: Sequence[float] = DEFAULT_LEADS_HOURS,
+    ) -> None:
+        self._weighted = anticipatory_snapshots(advisory, leads_hours)
+
+    @property
+    def field_count(self) -> int:
+        """Number of (current + projected) fields in play."""
+        return len(self._weighted)
+
+    def risk_at(self, point: GeoPoint) -> float:
+        """Max weighted forecast risk over all fields."""
+        best = 0.0
+        for weight, snapshot in self._weighted:
+            value = weight * snapshot.risk_at(point)
+            if value > best:
+                best = value
+        return best
+
+    def pop_risks(self, network) -> Dict[str, float]:
+        """``o_f`` per PoP of a network."""
+        return {
+            pop.pop_id: self.risk_at(pop.location) for pop in network.pops()
+        }
+
+    def pops_threatened(self, network) -> List[str]:
+        """PoPs with any current or projected exposure."""
+        return [
+            pop.pop_id
+            for pop in network.pops()
+            if self.risk_at(pop.location) > 0.0
+        ]

@@ -1,0 +1,130 @@
+"""Forecasted outage risk from advisories (Section 5.3).
+
+Each parsed advisory defines two concentric wind zones around the storm
+centre.  A location inside the hurricane-force zone carries forecast risk
+``rho_h``; inside the tropical-storm-force zone, ``rho_t``; outside both,
+zero.  The paper uses ``rho_t = 50`` and ``rho_h = 100`` (Section 5.3),
+with the forecast term scaled by ``gamma_f`` in the bit-risk-miles metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence
+
+from ..geo.coords import GeoPoint
+from ..geo.distance import haversine_miles
+from .advisory import Advisory
+from .parser import ParsedAdvisory, parse_advisory_text
+
+__all__ = [
+    "RHO_TROPICAL",
+    "RHO_HURRICANE",
+    "ForecastSnapshot",
+    "snapshot_from_advisory",
+    "snapshot_from_text",
+    "storm_scope",
+]
+
+#: Paper's forecast risk for tropical-storm-force winds.
+RHO_TROPICAL = 50.0
+#: Paper's forecast risk for hurricane-force winds.
+RHO_HURRICANE = 100.0
+
+
+@dataclass(frozen=True)
+class ForecastSnapshot:
+    """The forecast risk field implied by one advisory."""
+
+    center: GeoPoint
+    hurricane_radius_miles: float
+    tropical_radius_miles: float
+    rho_tropical: float = RHO_TROPICAL
+    rho_hurricane: float = RHO_HURRICANE
+
+    def __post_init__(self) -> None:
+        if self.hurricane_radius_miles < 0 or self.tropical_radius_miles < 0:
+            raise ValueError("wind radii must be non-negative")
+        if self.tropical_radius_miles < self.hurricane_radius_miles:
+            raise ValueError("tropical radius must cover hurricane radius")
+        if self.rho_hurricane < self.rho_tropical:
+            raise ValueError("rho_hurricane must be >= rho_tropical")
+
+    def risk_at(self, location: GeoPoint) -> float:
+        """Forecast outage risk ``o_f`` at a location."""
+        distance = haversine_miles(self.center, location)
+        if distance <= self.hurricane_radius_miles:
+            return self.rho_hurricane
+        if distance <= self.tropical_radius_miles:
+            return self.rho_tropical
+        return 0.0
+
+    def zone_of(self, location: GeoPoint) -> str:
+        """"hurricane", "tropical" or "clear" for a location."""
+        distance = haversine_miles(self.center, location)
+        if distance <= self.hurricane_radius_miles:
+            return "hurricane"
+        if distance <= self.tropical_radius_miles:
+            return "tropical"
+        return "clear"
+
+
+def snapshot_from_advisory(
+    advisory: Advisory,
+    rho_tropical: float = RHO_TROPICAL,
+    rho_hurricane: float = RHO_HURRICANE,
+) -> ForecastSnapshot:
+    """Build the risk field directly from a structured advisory."""
+    return ForecastSnapshot(
+        center=advisory.center,
+        hurricane_radius_miles=advisory.hurricane_radius_miles,
+        tropical_radius_miles=advisory.tropical_radius_miles,
+        rho_tropical=rho_tropical,
+        rho_hurricane=rho_hurricane,
+    )
+
+
+def snapshot_from_text(
+    text: str,
+    rho_tropical: float = RHO_TROPICAL,
+    rho_hurricane: float = RHO_HURRICANE,
+) -> ForecastSnapshot:
+    """Build the risk field from raw advisory text via the NLP parser.
+
+    This is the full pipeline of Section 5.3: advisory prose in, risk
+    field out.
+
+    Raises:
+        AdvisoryParseError: when the text cannot be parsed.
+    """
+    parsed: ParsedAdvisory = parse_advisory_text(text)
+    return ForecastSnapshot(
+        center=parsed.center,
+        hurricane_radius_miles=parsed.hurricane_radius_miles,
+        tropical_radius_miles=parsed.tropical_radius_miles,
+        rho_tropical=rho_tropical,
+        rho_hurricane=rho_hurricane,
+    )
+
+
+def storm_scope(
+    advisories: Sequence[Advisory], locations: Iterable[GeoPoint]
+) -> Dict[GeoPoint, str]:
+    """The *final* geographic scope of a storm (Figure 6).
+
+    For each location, the strongest zone it ever fell into across the
+    full advisory sequence: "hurricane" beats "tropical" beats "clear".
+    """
+    order = {"clear": 0, "tropical": 1, "hurricane": 2}
+    snapshots = [snapshot_from_advisory(a) for a in advisories]
+    result: Dict[GeoPoint, str] = {}
+    for location in locations:
+        best = "clear"
+        for snapshot in snapshots:
+            zone = snapshot.zone_of(location)
+            if order[zone] > order[best]:
+                best = zone
+            if best == "hurricane":
+                break
+        result[location] = best
+    return result

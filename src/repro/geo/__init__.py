@@ -1,0 +1,58 @@
+"""Geographic substrate: coordinates, great-circle distance, grids, regions."""
+
+from .coords import CONTINENTAL_US, BoundingBox, GeoPoint
+from .distance import (
+    EARTH_RADIUS_KM,
+    EARTH_RADIUS_MILES,
+    destination_point,
+    distances_to_point,
+    haversine_km,
+    haversine_miles,
+    interpolate_great_circle,
+    pairwise_distance_matrix,
+    path_length_miles,
+)
+from .grid import GeoGrid, GridField
+from .regions import (
+    ATLANTIC_COAST,
+    CENTRAL_PLAINS,
+    GULF_COAST,
+    MIDWEST,
+    MOUNTAIN_WEST,
+    NORTHEAST,
+    SOUTHEAST,
+    STATE_BOXES,
+    WEST_COAST,
+    Region,
+    state_of,
+    states_region,
+)
+
+__all__ = [
+    "GeoPoint",
+    "BoundingBox",
+    "CONTINENTAL_US",
+    "EARTH_RADIUS_MILES",
+    "EARTH_RADIUS_KM",
+    "haversine_miles",
+    "haversine_km",
+    "path_length_miles",
+    "pairwise_distance_matrix",
+    "distances_to_point",
+    "interpolate_great_circle",
+    "destination_point",
+    "GeoGrid",
+    "GridField",
+    "Region",
+    "GULF_COAST",
+    "ATLANTIC_COAST",
+    "CENTRAL_PLAINS",
+    "WEST_COAST",
+    "MIDWEST",
+    "NORTHEAST",
+    "SOUTHEAST",
+    "MOUNTAIN_WEST",
+    "STATE_BOXES",
+    "state_of",
+    "states_region",
+]

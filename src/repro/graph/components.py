@@ -1,0 +1,160 @@
+"""Connectivity analysis.
+
+Topology builders must emit connected networks (a disconnected ISP map
+would make all-pairs bit-risk miles undefined), and the disaster case
+studies ask which PoPs become unreachable when the storm-covered nodes
+fail.  Both needs reduce to connected components and articulation points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Set, TypeVar
+
+from .core import Graph
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "articulation_points",
+    "bridges",
+]
+
+N = TypeVar("N", bound=Hashable)
+
+
+def connected_components(graph: Graph[N]) -> List[List[N]]:
+    """Return the connected components, each in insertion order.
+
+    Components are ordered by their first-inserted node, so output is
+    deterministic.
+    """
+    seen: Set[N] = set()
+    components: List[List[N]] = []
+    for start in graph.nodes():
+        if start in seen:
+            continue
+        component: List[N] = []
+        stack = [start]
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in graph.neighbors(node):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        # Keep insertion order within the component for determinism.
+        order = {n: i for i, n in enumerate(graph.nodes())}
+        component.sort(key=lambda n: order[n])
+        components.append(component)
+    return components
+
+
+def is_connected(graph: Graph[N]) -> bool:
+    """True when the graph has exactly one component (empty graph: False)."""
+    if graph.node_count == 0:
+        return False
+    return len(connected_components(graph)) == 1
+
+
+def largest_component(graph: Graph[N]) -> List[N]:
+    """Nodes of the largest connected component (ties broken by order)."""
+    components = connected_components(graph)
+    if not components:
+        return []
+    return max(components, key=len)
+
+
+def articulation_points(graph: Graph[N]) -> Set[N]:
+    """Nodes whose removal increases the number of components.
+
+    Iterative Hopcroft-Tarjan DFS (no recursion limit issues on the
+    233-PoP Level3 topology).
+    """
+    visited: Set[N] = set()
+    disc: Dict[N, int] = {}
+    low: Dict[N, int] = {}
+    parent: Dict[N, N] = {}
+    points: Set[N] = set()
+    timer = 0
+
+    for root in graph.nodes():
+        if root in visited:
+            continue
+        stack = [(root, iter(graph.neighbors(root)))]
+        visited.add(root)
+        disc[root] = low[root] = timer
+        timer += 1
+        root_children = 0
+
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    disc[neighbor] = low[neighbor] = timer
+                    timer += 1
+                    parent[neighbor] = node
+                    if node == root:
+                        root_children += 1
+                    stack.append((neighbor, iter(graph.neighbors(neighbor))))
+                    advanced = True
+                    break
+                elif neighbor != parent.get(node):
+                    low[node] = min(low[node], disc[neighbor])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    above = stack[-1][0]
+                    low[above] = min(low[above], low[node])
+                    if above != root and low[node] >= disc[above]:
+                        points.add(above)
+        if root_children > 1:
+            points.add(root)
+    return points
+
+
+def bridges(graph: Graph[N]) -> List[tuple]:
+    """Edges whose removal disconnects their endpoints.
+
+    Returned as ``(u, v)`` tuples in deterministic order.
+    """
+    visited: Set[N] = set()
+    disc: Dict[N, int] = {}
+    low: Dict[N, int] = {}
+    parent: Dict[N, N] = {}
+    result: List[tuple] = []
+    timer = 0
+
+    for root in graph.nodes():
+        if root in visited:
+            continue
+        stack = [(root, iter(graph.neighbors(root)))]
+        visited.add(root)
+        disc[root] = low[root] = timer
+        timer += 1
+
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for neighbor in neighbors:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    disc[neighbor] = low[neighbor] = timer
+                    timer += 1
+                    parent[neighbor] = node
+                    stack.append((neighbor, iter(graph.neighbors(neighbor))))
+                    advanced = True
+                    break
+                elif neighbor != parent.get(node):
+                    low[node] = min(low[node], disc[neighbor])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    above = stack[-1][0]
+                    low[above] = min(low[above], low[node])
+                    if low[node] > disc[above]:
+                        result.append((above, node))
+    return result

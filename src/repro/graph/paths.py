@@ -1,0 +1,131 @@
+"""Path enumeration beyond the single shortest path.
+
+Backup-route computation (Section 3.1: IP Fast Reroute and MPLS failover)
+needs alternatives to the primary path: the k shortest loopless paths
+(Yen's algorithm) and shortest paths that avoid a failed node or link.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Set, Tuple, TypeVar
+
+from .core import Graph
+from .shortest_path import NoPathError, shortest_path
+
+__all__ = [
+    "k_shortest_paths",
+    "path_avoiding_nodes",
+    "path_avoiding_edge",
+    "edge_disjoint_backup",
+]
+
+N = TypeVar("N", bound=Hashable)
+
+
+def k_shortest_paths(
+    graph: Graph[N], source: N, target: N, k: int
+) -> List[List[N]]:
+    """Yen's algorithm: up to ``k`` loopless paths in increasing weight.
+
+    Returns fewer than ``k`` paths when the graph does not contain that
+    many distinct loopless paths.
+
+    Raises:
+        ValueError: if ``k`` < 1.
+        NoPathError: if no path at all exists.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    first = shortest_path(graph, source, target)
+    paths: List[List[N]] = [first]
+    # Candidate set keyed by (weight, path) for deterministic ordering.
+    candidates: List[Tuple[float, List[N]]] = []
+
+    while len(paths) < k:
+        prev_path = paths[-1]
+        for i in range(len(prev_path) - 1):
+            spur_node = prev_path[i]
+            root = prev_path[: i + 1]
+
+            work = graph.copy()
+            # Remove edges used by already-found paths sharing this root.
+            for path in paths:
+                if len(path) > i and path[: i + 1] == root:
+                    u, v = path[i], path[i + 1]
+                    if work.has_edge(u, v):
+                        work.remove_edge(u, v)
+            # Remove root nodes except the spur to keep paths loopless.
+            for node in root[:-1]:
+                if node in work:
+                    work.remove_node(node)
+
+            try:
+                spur = shortest_path(work, spur_node, target)
+            except NoPathError:
+                continue
+            candidate = root[:-1] + spur
+            weight = graph.path_weight(candidate)
+            entry = (weight, candidate)
+            if all(candidate != c[1] for c in candidates):
+                candidates.append(entry)
+
+        if not candidates:
+            break
+        candidates.sort(key=lambda item: (item[0], item[1]))
+        _, best = candidates.pop(0)
+        paths.append(best)
+    return paths
+
+
+def path_avoiding_nodes(
+    graph: Graph[N], source: N, target: N, avoid: Sequence[N]
+) -> List[N]:
+    """Shortest path that does not traverse any node in ``avoid``.
+
+    Source and target themselves are never removed.
+
+    Raises:
+        NoPathError: when removal of the avoided nodes disconnects the
+            endpoints.
+    """
+    banned: Set[N] = {n for n in avoid if n != source and n != target}
+    work = graph.copy()
+    for node in banned:
+        if node in work:
+            work.remove_node(node)
+    return shortest_path(work, source, target)
+
+
+def path_avoiding_edge(
+    graph: Graph[N], source: N, target: N, edge: Tuple[N, N]
+) -> List[N]:
+    """Shortest path that does not use the given edge.
+
+    Raises:
+        NoPathError: when the edge is a bridge between the endpoints.
+    """
+    u, v = edge
+    work = graph.copy()
+    if work.has_edge(u, v):
+        work.remove_edge(u, v)
+    return shortest_path(work, source, target)
+
+
+def edge_disjoint_backup(
+    graph: Graph[N], source: N, target: N
+) -> Optional[List[N]]:
+    """A backup path edge-disjoint from the primary shortest path.
+
+    Removes every edge of the primary path and re-runs the search.  Returns
+    ``None`` when no edge-disjoint alternative exists — a useful signal for
+    the provisioning analysis (a network with no disjoint backup between
+    two high-impact PoPs is a prime candidate for a new link).
+    """
+    primary = shortest_path(graph, source, target)
+    work = graph.copy()
+    for a, b in zip(primary, primary[1:]):
+        work.remove_edge(a, b)
+    try:
+        return shortest_path(work, source, target)
+    except NoPathError:
+        return None

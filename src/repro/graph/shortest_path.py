@@ -1,0 +1,144 @@
+"""Shortest-path search.
+
+The RiskRoute optimizer is a single-pair shortest path on the risk-weighted
+graph (Section 6.4 of the paper); the evaluation ratios (Equations 5-6)
+need all-pairs results, and the provisioning search (Equation 4) runs the
+all-pairs computation once per candidate edge.  We therefore provide a
+single-source Dijkstra, a single-pair variant with early exit, and an
+all-pairs driver that reuses the single-source routine.
+
+A deterministic tie-break keeps equal-cost paths stable across runs: among
+equally cheap frontier entries the one inserted first wins.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple, TypeVar
+
+from .core import Graph, NodeNotFoundError
+
+__all__ = [
+    "NoPathError",
+    "dijkstra",
+    "shortest_path",
+    "shortest_path_length",
+    "all_pairs_shortest_paths",
+    "reconstruct_path",
+]
+
+N = TypeVar("N", bound=Hashable)
+
+
+class NoPathError(Exception):
+    """Raised when no path exists between the requested endpoints."""
+
+    def __init__(self, source, target) -> None:
+        super().__init__(f"no path from {source!r} to {target!r}")
+        self.source = source
+        self.target = target
+
+
+def dijkstra(
+    graph: Graph[N], source: N, target: Optional[N] = None
+) -> Tuple[Dict[N, float], Dict[N, N]]:
+    """Single-source Dijkstra.
+
+    Args:
+        graph: the weighted graph (non-negative weights enforced by
+            :class:`~repro.graph.core.Graph`).
+        source: start node.
+        target: optional early-exit node — the search stops as soon as the
+            target is settled.
+
+    Returns:
+        ``(dist, parent)`` where ``dist`` maps each reached node to its
+        distance from ``source`` and ``parent`` maps each reached node
+        (except the source) to its predecessor on a shortest path.
+
+    Raises:
+        NodeNotFoundError: if ``source`` (or a given ``target``) is absent.
+    """
+    if source not in graph:
+        raise NodeNotFoundError(source)
+    if target is not None and target not in graph:
+        raise NodeNotFoundError(target)
+
+    dist: Dict[N, float] = {source: 0.0}
+    parent: Dict[N, N] = {}
+    settled: set = set()
+    counter = 0
+    heap: List[Tuple[float, int, N]] = [(0.0, counter, source)]
+
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == target:
+            break
+        for neighbor, weight in graph.neighbors(node).items():
+            if neighbor in settled:
+                continue
+            candidate = d + weight
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                parent[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return dist, parent
+
+
+def reconstruct_path(parent: Dict[N, N], source: N, target: N) -> List[N]:
+    """Rebuild the node path source→target from a Dijkstra parent map.
+
+    Raises:
+        NoPathError: if ``target`` was never reached.
+    """
+    if target == source:
+        return [source]
+    if target not in parent:
+        raise NoPathError(source, target)
+    path = [target]
+    node = target
+    while node != source:
+        node = parent[node]
+        path.append(node)
+    path.reverse()
+    return path
+
+
+def shortest_path(graph: Graph[N], source: N, target: N) -> List[N]:
+    """Return the minimum-weight node path from ``source`` to ``target``.
+
+    Raises:
+        NoPathError: when the endpoints are disconnected.
+        NodeNotFoundError: when either endpoint is absent.
+    """
+    dist, parent = dijkstra(graph, source, target=target)
+    if target not in dist:
+        raise NoPathError(source, target)
+    return reconstruct_path(parent, source, target)
+
+
+def shortest_path_length(graph: Graph[N], source: N, target: N) -> float:
+    """Return only the minimum path weight from ``source`` to ``target``.
+
+    Raises:
+        NoPathError: when the endpoints are disconnected.
+    """
+    dist, _ = dijkstra(graph, source, target=target)
+    if target not in dist:
+        raise NoPathError(source, target)
+    return dist[target]
+
+
+def all_pairs_shortest_paths(
+    graph: Graph[N],
+) -> Dict[N, Tuple[Dict[N, float], Dict[N, N]]]:
+    """Run single-source Dijkstra from every node.
+
+    Returns a map ``source -> (dist, parent)``.  The framework's ratio
+    computations (Equations 5-6) consume this directly.
+    """
+    return {node: dijkstra(graph, node) for node in graph.nodes()}

@@ -1,0 +1,18 @@
+"""Risk layer: historical, forecasted and impact models composed."""
+
+from .forecasted import ForecastedRiskModel, no_forecast
+from .historical import HistoricalRiskModel, default_historical_model
+from .impact import ImpactModel, network_impact_model
+from .model import DEFAULT_GAMMA_F, DEFAULT_GAMMA_H, RiskModel
+
+__all__ = [
+    "HistoricalRiskModel",
+    "default_historical_model",
+    "ForecastedRiskModel",
+    "no_forecast",
+    "ImpactModel",
+    "network_impact_model",
+    "RiskModel",
+    "DEFAULT_GAMMA_H",
+    "DEFAULT_GAMMA_F",
+]

@@ -1,0 +1,66 @@
+"""Outage impact per PoP pair (Section 5.1).
+
+``alpha_ij = c_i + c_j`` where ``c_i`` is the fraction of population
+served by PoP ``i`` under nearest-neighbour assignment.  This module
+caches per-network assignments so the experiments can ask for impacts
+repeatedly without re-running the census sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..population.assignment import (
+    PopulationAssignment,
+    network_population_shares,
+)
+from ..population.census import CensusData, synthetic_census
+from ..topology.network import Network
+
+__all__ = ["ImpactModel", "network_impact_model"]
+
+
+class ImpactModel:
+    """``alpha_ij`` backed by a population assignment."""
+
+    def __init__(self, assignment: PopulationAssignment) -> None:
+        self._assignment = assignment
+
+    def share(self, pop_id: str) -> float:
+        """``c_i`` of one PoP."""
+        return self._assignment.share(pop_id)
+
+    def impact(self, pop_i: str, pop_j: str) -> float:
+        """``alpha_ij = c_i + c_j``."""
+        return self._assignment.impact(pop_i, pop_j)
+
+    def mean_share(self) -> float:
+        """Average ``c_i`` across the assignment's PoPs."""
+        shares = self._assignment.shares()
+        if not shares:
+            return 0.0
+        return sum(shares.values()) / len(shares)
+
+    def shares(self) -> Dict[str, float]:
+        """All shares (copy)."""
+        return self._assignment.shares()
+
+
+_MODEL_CACHE: Dict[str, ImpactModel] = {}
+
+
+def network_impact_model(
+    network: Network, census: Optional[CensusData] = None
+) -> ImpactModel:
+    """The impact model of a network (cached per network name).
+
+    Uses the default synthetic census when none is supplied; custom
+    census data bypasses the cache.
+    """
+    if census is not None:
+        return ImpactModel(network_population_shares(network, census))
+    if network.name not in _MODEL_CACHE:
+        _MODEL_CACHE[network.name] = ImpactModel(
+            network_population_shares(network, synthetic_census())
+        )
+    return _MODEL_CACHE[network.name]

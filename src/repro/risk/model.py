@@ -1,0 +1,193 @@
+"""The composed risk model behind the bit-risk-miles metric.
+
+A :class:`RiskModel` holds, for every PoP in scope, the three ingredients
+of Equation 1 — the population share ``c_i``, the historical risk
+``o_h(i)`` and the forecasted risk ``o_f(i)`` — together with the tuning
+parameters ``gamma_h`` and ``gamma_f``.  It can be built for a single
+network (intradomain) or for a merged interdomain topology, and it is the
+only object the core RiskRoute optimizer needs besides the distance
+graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..topology.interdomain import InterdomainTopology
+from ..topology.network import Network
+from .forecasted import ForecastedRiskModel, no_forecast
+from .historical import HistoricalRiskModel, default_historical_model
+from .impact import network_impact_model
+
+__all__ = ["RiskModel", "DEFAULT_GAMMA_H", "DEFAULT_GAMMA_F"]
+
+#: The paper's default historical-risk tuning parameter (Section 5).
+DEFAULT_GAMMA_H = 1e5
+#: The paper's default forecast-risk tuning parameter (Section 5).
+DEFAULT_GAMMA_F = 1e3
+
+#: Per-network o_h cache for the *default* historical model — the KDE
+#: sweep over a large network costs seconds and every experiment needs it.
+_DEFAULT_OH_CACHE: Dict[str, Dict[str, float]] = {}
+
+
+def _default_pop_risks(network: Network) -> Dict[str, float]:
+    if network.name not in _DEFAULT_OH_CACHE:
+        _DEFAULT_OH_CACHE[network.name] = default_historical_model().pop_risks(
+            network
+        )
+    return dict(_DEFAULT_OH_CACHE[network.name])
+
+
+class RiskModel:
+    """Per-PoP risk state plus the gamma knobs.
+
+    Instances are cheap value objects: derive variants with
+    :meth:`with_gammas` / :meth:`with_forecast` instead of rebuilding the
+    underlying KDE and census machinery.
+    """
+
+    def __init__(
+        self,
+        shares: Mapping[str, float],
+        historical_risk: Mapping[str, float],
+        forecast_risk: Mapping[str, float],
+        gamma_h: float = DEFAULT_GAMMA_H,
+        gamma_f: float = DEFAULT_GAMMA_F,
+    ) -> None:
+        if gamma_h < 0 or gamma_f < 0:
+            raise ValueError("gamma_h and gamma_f must be non-negative")
+        keys = set(shares)
+        if set(historical_risk) != keys or set(forecast_risk) != keys:
+            raise ValueError(
+                "shares, historical_risk and forecast_risk must cover the "
+                "same PoP ids"
+            )
+        self._shares = dict(shares)
+        self._oh = dict(historical_risk)
+        self._of = dict(forecast_risk)
+        self.gamma_h = float(gamma_h)
+        self.gamma_f = float(gamma_f)
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def for_network(
+        cls,
+        network: Network,
+        historical: Optional[HistoricalRiskModel] = None,
+        forecast: Optional[ForecastedRiskModel] = None,
+        gamma_h: float = DEFAULT_GAMMA_H,
+        gamma_f: float = DEFAULT_GAMMA_F,
+    ) -> "RiskModel":
+        """Build the intradomain model of one network.
+
+        ``historical`` defaults to the five-class corpus model;
+        ``forecast`` defaults to calm weather.
+        """
+        if historical is None:
+            oh = _default_pop_risks(network)
+        else:
+            oh = historical.pop_risks(network)
+        forecast = forecast or no_forecast()
+        impact = network_impact_model(network)
+        return cls(
+            shares=impact.shares(),
+            historical_risk=oh,
+            forecast_risk=forecast.pop_risks(network),
+            gamma_h=gamma_h,
+            gamma_f=gamma_f,
+        )
+
+    @classmethod
+    def for_interdomain(
+        cls,
+        topology: InterdomainTopology,
+        historical: Optional[HistoricalRiskModel] = None,
+        forecast: Optional[ForecastedRiskModel] = None,
+        gamma_h: float = DEFAULT_GAMMA_H,
+        gamma_f: float = DEFAULT_GAMMA_F,
+    ) -> "RiskModel":
+        """Build the merged model of an interdomain topology.
+
+        Shares come from each network's own (footprint-confined)
+        population assignment, so a regional PoP's impact reflects the
+        population it actually serves.
+        """
+        forecast = forecast or no_forecast()
+        shares: Dict[str, float] = {}
+        oh: Dict[str, float] = {}
+        of: Dict[str, float] = {}
+        for network in topology.networks.values():
+            impact = network_impact_model(network)
+            shares.update(impact.shares())
+            if historical is None:
+                oh.update(_default_pop_risks(network))
+            else:
+                oh.update(historical.pop_risks(network))
+            of.update(forecast.pop_risks(network))
+        return cls(shares, oh, of, gamma_h=gamma_h, gamma_f=gamma_f)
+
+    # -- variants --------------------------------------------------------
+
+    def with_gammas(self, gamma_h: float, gamma_f: float) -> "RiskModel":
+        """Same risk state, different tuning parameters."""
+        return RiskModel(self._shares, self._oh, self._of, gamma_h, gamma_f)
+
+    def with_forecast_risk(
+        self, forecast_risk: Mapping[str, float]
+    ) -> "RiskModel":
+        """Same shares and history, new per-PoP forecast risk.
+
+        Raises:
+            ValueError: if the new map does not cover the same PoPs.
+        """
+        return RiskModel(
+            self._shares, self._oh, forecast_risk, self.gamma_h, self.gamma_f
+        )
+
+    # -- per-PoP state --------------------------------------------------------
+
+    def pop_ids(self) -> Sequence[str]:
+        """All PoP ids in the model, insertion order."""
+        return list(self._shares)
+
+    def share(self, pop_id: str) -> float:
+        """Population share ``c_i``."""
+        if pop_id not in self._shares:
+            raise KeyError(f"unknown PoP {pop_id!r}")
+        return self._shares[pop_id]
+
+    def impact(self, pop_i: str, pop_j: str) -> float:
+        """Pair impact ``alpha_ij = c_i + c_j``."""
+        return self.share(pop_i) + self.share(pop_j)
+
+    def historical_risk(self, pop_id: str) -> float:
+        """``o_h`` at the PoP."""
+        if pop_id not in self._oh:
+            raise KeyError(f"unknown PoP {pop_id!r}")
+        return self._oh[pop_id]
+
+    def forecast_risk(self, pop_id: str) -> float:
+        """``o_f`` at the PoP."""
+        if pop_id not in self._of:
+            raise KeyError(f"unknown PoP {pop_id!r}")
+        return self._of[pop_id]
+
+    def node_risk(self, pop_id: str) -> float:
+        """The gamma-scaled risk charged when a route traverses the PoP:
+        ``gamma_h * o_h + gamma_f * o_f``."""
+        return (
+            self.gamma_h * self.historical_risk(pop_id)
+            + self.gamma_f * self.forecast_risk(pop_id)
+        )
+
+    def node_risks(self) -> Dict[str, float]:
+        """``node_risk`` for every PoP."""
+        return {pop_id: self.node_risk(pop_id) for pop_id in self._shares}
+
+    def mean_pop_risk(self) -> float:
+        """Mean o_h across PoPs (Table 3's "average PoP risk")."""
+        if not self._oh:
+            return 0.0
+        return sum(self._oh.values()) / len(self._oh)

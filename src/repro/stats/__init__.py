@@ -1,0 +1,44 @@
+"""Statistics substrate: KDE, bandwidth selection, divergences, regression."""
+
+from .bandwidth import (
+    BandwidthSearchResult,
+    cross_validate_bandwidth,
+    log_space_candidates,
+)
+from .divergence import (
+    empirical_kl_from_loglik,
+    jensen_shannon_discrete,
+    kl_divergence_discrete,
+)
+from .kde import GaussianKDE, points_to_array
+from .regression import (
+    LinearFit,
+    linear_regression,
+    pearson_correlation,
+    r_squared,
+)
+from .sampling import (
+    sample_gaussian_cluster,
+    sample_mixture,
+    sample_uniform_box,
+    weighted_choice_indices,
+)
+
+__all__ = [
+    "GaussianKDE",
+    "points_to_array",
+    "BandwidthSearchResult",
+    "cross_validate_bandwidth",
+    "log_space_candidates",
+    "kl_divergence_discrete",
+    "empirical_kl_from_loglik",
+    "jensen_shannon_discrete",
+    "LinearFit",
+    "linear_regression",
+    "r_squared",
+    "pearson_correlation",
+    "sample_uniform_box",
+    "sample_gaussian_cluster",
+    "sample_mixture",
+    "weighted_choice_indices",
+]

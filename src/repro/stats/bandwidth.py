@@ -1,0 +1,132 @@
+"""Kernel bandwidth training by 5-way cross validation (Table 1).
+
+Following Section 5.2 of the paper, the single tuning parameter of each
+disaster-class KDE is its bandwidth.  We pick it by k-fold cross
+validation: for each candidate bandwidth, fit a KDE on the training folds
+and score the held-out fold by KL divergence (equivalently, negative mean
+held-out log-likelihood; see :mod:`repro.stats.divergence`).  The
+bandwidth with the lowest mean held-out score wins.
+
+Event catalogs range from thousands (earthquakes) to >100k entries
+(wind).  Cross-validating the full wind catalog would be quadratic in N,
+so folds are optionally subsampled with a seeded generator — the selected
+bandwidth is insensitive to this beyond the second decimal because the
+score curve is smooth in log-bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo.coords import GeoPoint
+from .divergence import empirical_kl_from_loglik
+from .kde import GaussianKDE
+
+__all__ = ["BandwidthSearchResult", "cross_validate_bandwidth", "log_space_candidates"]
+
+
+def log_space_candidates(
+    low_miles: float, high_miles: float, count: int
+) -> List[float]:
+    """Logarithmically spaced candidate bandwidths in miles."""
+    if low_miles <= 0 or high_miles <= low_miles:
+        raise ValueError("need 0 < low_miles < high_miles")
+    if count < 2:
+        raise ValueError("need at least two candidates")
+    return [float(b) for b in np.geomspace(low_miles, high_miles, count)]
+
+
+@dataclass(frozen=True)
+class BandwidthSearchResult:
+    """Outcome of a cross-validated bandwidth search."""
+
+    best_bandwidth_miles: float
+    candidates: Tuple[float, ...]
+    scores: Tuple[float, ...]
+    n_events_used: int
+    n_folds: int
+
+    def score_of(self, bandwidth: float) -> float:
+        """Cross-validation score of one of the searched candidates."""
+        try:
+            index = self.candidates.index(bandwidth)
+        except ValueError:
+            raise KeyError(f"{bandwidth} was not among the candidates")
+        return self.scores[index]
+
+
+def _fold_indices(
+    n: int, n_folds: int, rng: "np.random.Generator"
+) -> List["np.ndarray"]:
+    order = rng.permutation(n)
+    return [order[i::n_folds] for i in range(n_folds)]
+
+
+def cross_validate_bandwidth(
+    events: Sequence[GeoPoint],
+    candidates: Sequence[float],
+    n_folds: int = 5,
+    max_events: Optional[int] = 4000,
+    seed: int = 0,
+) -> BandwidthSearchResult:
+    """Select a KDE bandwidth by k-fold cross validation.
+
+    Args:
+        events: the event catalog.
+        candidates: bandwidths (miles) to score.
+        n_folds: number of folds (the paper uses 5).
+        max_events: subsample cap for tractability on huge catalogs;
+            ``None`` uses everything.
+        seed: seed for the fold shuffle and subsample.
+
+    Returns:
+        A :class:`BandwidthSearchResult`; ties on score break toward the
+        smaller bandwidth for determinism.
+
+    Raises:
+        ValueError: if there are fewer events than folds or no candidates.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate bandwidth")
+    if n_folds < 2:
+        raise ValueError("need at least two folds")
+    if len(events) < n_folds:
+        raise ValueError(
+            f"need at least {n_folds} events, got {len(events)}"
+        )
+
+    rng = np.random.default_rng(seed)
+    working: List[GeoPoint] = list(events)
+    if max_events is not None and len(working) > max_events:
+        picks = rng.choice(len(working), size=max_events, replace=False)
+        working = [working[i] for i in sorted(picks)]
+
+    folds = _fold_indices(len(working), n_folds, rng)
+    scores: List[float] = []
+    for bandwidth in candidates:
+        fold_scores: List[float] = []
+        for held_out in folds:
+            held_set = set(int(i) for i in held_out)
+            train = [p for i, p in enumerate(working) if i not in held_set]
+            test = [working[int(i)] for i in held_out]
+            if not train or not test:
+                continue
+            kde = GaussianKDE(train, bandwidth)
+            fold_scores.append(
+                empirical_kl_from_loglik(kde.log_density_many(test))
+            )
+        scores.append(float(np.mean(fold_scores)))
+
+    best_index = min(
+        range(len(candidates)), key=lambda i: (scores[i], candidates[i])
+    )
+    return BandwidthSearchResult(
+        best_bandwidth_miles=float(candidates[best_index]),
+        candidates=tuple(float(c) for c in candidates),
+        scores=tuple(scores),
+        n_events_used=len(working),
+        n_folds=n_folds,
+    )

@@ -1,0 +1,99 @@
+"""Simple linear regression and the coefficient of determination.
+
+Table 3 of the paper reports the R^2 of a linear fit between each regional
+network characteristic (footprint, #PoPs, ...) and the observed risk
+reduction / distance increase ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "linear_regression", "r_squared", "pearson_correlation"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Least-squares line ``y = slope * x + intercept`` plus its R^2."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Predicted y at ``x``."""
+        return self.slope * x + self.intercept
+
+
+def linear_regression(
+    x: Sequence[float], y: Sequence[float]
+) -> LinearFit:
+    """Ordinary least squares fit of y on x.
+
+    Raises:
+        ValueError: on length mismatch or fewer than two points.
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 2:
+        raise ValueError("need at least two points to fit a line")
+    x_mean = x_arr.mean()
+    y_mean = y_arr.mean()
+    sxx = float(np.sum((x_arr - x_mean) ** 2))
+    if sxx == 0.0:
+        # Vertical stack of points: the best horizontal line is y = mean.
+        return LinearFit(slope=0.0, intercept=float(y_mean), r_squared=0.0)
+    sxy = float(np.sum((x_arr - x_mean) * (y_arr - y_mean)))
+    slope = sxy / sxx
+    intercept = float(y_mean - slope * x_mean)
+    predictions = slope * x_arr + intercept
+    return LinearFit(
+        slope=float(slope),
+        intercept=intercept,
+        r_squared=r_squared(y_arr, predictions),
+    )
+
+
+def r_squared(observed: Sequence[float], predicted: Sequence[float]) -> float:
+    """Coefficient of determination of predictions against observations.
+
+    Returns 1.0 for a perfect fit; 0.0 when the predictions explain no
+    variance (including the degenerate constant-observation case).
+    """
+    obs = np.asarray(observed, dtype=np.float64)
+    pred = np.asarray(predicted, dtype=np.float64)
+    if obs.shape != pred.shape:
+        raise ValueError("observed and predicted must have the same length")
+    if obs.size == 0:
+        raise ValueError("need at least one observation")
+    ss_tot = float(np.sum((obs - obs.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0
+    ss_res = float(np.sum((obs - pred) ** 2))
+    return max(0.0, 1.0 - ss_res / ss_tot)
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient in [-1, 1].
+
+    Returns 0.0 when either vector is constant.
+    """
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 2:
+        raise ValueError("need at least two points")
+    x_std = x_arr.std()
+    y_std = y_arr.std()
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    return float(
+        np.mean((x_arr - x_arr.mean()) * (y_arr - y_arr.mean()))
+        / (x_std * y_std)
+    )

@@ -1,0 +1,88 @@
+"""Shared fixtures.
+
+Most tests avoid the full synthetic corpus (census + 176k disaster
+events + KDE sweeps) and work on small hand-built networks with explicit
+risk numbers; a few session-scoped fixtures expose the real corpus for
+integration tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geo.coords import GeoPoint
+from repro.risk.model import RiskModel
+from repro.topology.network import Network, NetworkTier, PoP
+
+
+def build_diamond_network() -> Network:
+    """Four PoPs in a diamond; two routes between west and east.
+
+    Layout (approximately)::
+
+            north (41.5, -95)
+           /               \\
+    west (39, -100)     east (39, -90)
+           \\               /
+            south (37, -95)
+
+    The south transit PoP is on the geometrically *shorter* corridor but
+    is risky, so shortest-path routing and RiskRoute disagree.
+    """
+    network = Network("diamond", tier=NetworkTier.TIER1)
+    network.add_pop(PoP("diamond:west", "West", GeoPoint(39.0, -100.0)))
+    network.add_pop(PoP("diamond:east", "East", GeoPoint(39.0, -90.0)))
+    network.add_pop(PoP("diamond:north", "North", GeoPoint(41.5, -95.0)))
+    network.add_pop(PoP("diamond:south", "South", GeoPoint(37.0, -95.0)))
+    network.add_link("diamond:west", "diamond:north")
+    network.add_link("diamond:north", "diamond:east")
+    network.add_link("diamond:west", "diamond:south")
+    network.add_link("diamond:south", "diamond:east")
+    return network
+
+
+def build_diamond_model(
+    south_risk: float = 5e-2,
+    north_risk: float = 1e-3,
+    gamma_h: float = 1e5,
+    gamma_f: float = 1e3,
+) -> RiskModel:
+    """A risk model for the diamond: the south transit PoP is risky."""
+    shares = {
+        "diamond:west": 0.3,
+        "diamond:east": 0.3,
+        "diamond:north": 0.2,
+        "diamond:south": 0.2,
+    }
+    oh = {
+        "diamond:west": 1e-3,
+        "diamond:east": 1e-3,
+        "diamond:north": north_risk,
+        "diamond:south": south_risk,
+    }
+    of = {pop_id: 0.0 for pop_id in shares}
+    return RiskModel(shares, oh, of, gamma_h=gamma_h, gamma_f=gamma_f)
+
+
+@pytest.fixture
+def diamond_network() -> Network:
+    return build_diamond_network()
+
+
+@pytest.fixture
+def diamond_model() -> RiskModel:
+    return build_diamond_model()
+
+
+@pytest.fixture(scope="session")
+def teliasonera():
+    """A real corpus network (15 PoPs), built once per session."""
+    from repro.topology.zoo import network_by_name
+
+    return network_by_name("Teliasonera")
+
+
+@pytest.fixture(scope="session")
+def teliasonera_model(teliasonera):
+    """The full default risk model for Teliasonera (KDE + census)."""
+    return RiskModel.for_network(teliasonera)

@@ -1,0 +1,67 @@
+"""Tests for the riskroute CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_route_defaults(self):
+        args = build_parser().parse_args(
+            ["route", "Level3", "Houston, TX", "Boston, MA"]
+        )
+        assert args.gamma_h == 1e5
+        assert args.gamma_f == 1e3
+
+    def test_route_overrides(self):
+        args = build_parser().parse_args(
+            [
+                "route", "Level3", "A", "B",
+                "--gamma-h", "1e6", "--gamma-f", "0",
+            ]
+        )
+        assert args.gamma_h == 1e6
+        assert args.gamma_f == 0.0
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "figure13" in out
+
+    def test_corpus(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "Level3" in out
+        assert "Telepak" in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "table99"]) == 2
+
+    def test_route_roundtrip(self, capsys, teliasonera_model):
+        code = main(
+            [
+                "route", "Teliasonera", "Miami, FL", "Seattle, WA",
+                "--gamma-h", "1e6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shortest" in out
+        assert "riskroute" in out
+
+    def test_route_unknown_network(self, capsys):
+        assert main(["route", "Comcast", "A", "B"]) == 2
+
+    def test_route_unknown_pop(self, capsys):
+        assert main(["route", "Teliasonera", "Nowhere, ZZ", "Miami, FL"]) == 2

@@ -1,0 +1,99 @@
+"""Tests for repro.experiments.export and the CLI format flags."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.base import ExperimentResult
+from repro.experiments.export import to_csv, to_json, write_result
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo result",
+        rows=[
+            {"name": "a", "value": 0.5, "count": 3},
+            {"name": "b", "value": 0.25, "count": 7, "extra": "x"},
+        ],
+        notes="a note",
+    )
+
+
+class TestJson:
+    def test_round_trip(self, result):
+        payload = json.loads(to_json(result))
+        assert payload["experiment_id"] == "demo"
+        assert payload["notes"] == "a note"
+        assert payload["rows"][0]["value"] == 0.5
+        assert payload["rows"][1]["extra"] == "x"
+
+    def test_valid_json_for_every_registered_metadata(self, result):
+        # Non-primitive values stringify rather than crash.
+        result.rows.append({"name": "c", "value": complex(1, 2)})
+        payload = json.loads(to_json(result))
+        assert isinstance(payload["rows"][2]["value"], str)
+
+
+class TestCsv:
+    def test_header_is_column_union(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert set(rows[0]) == {"name", "value", "count", "extra"}
+        assert rows[0]["name"] == "a"
+        assert rows[1]["extra"] == "x"
+
+    def test_missing_cells_empty(self, result):
+        rows = list(csv.DictReader(io.StringIO(to_csv(result))))
+        assert rows[0]["extra"] == ""
+
+
+class TestWriteResult:
+    def test_write_json(self, result, tmp_path):
+        path = tmp_path / "out.json"
+        write_result(result, str(path), fmt="json")
+        assert json.loads(path.read_text())["title"] == "Demo result"
+
+    def test_write_csv(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        write_result(result, str(path), fmt="csv")
+        assert path.read_text().startswith("name,value,count,extra")
+
+    def test_write_text(self, result, tmp_path):
+        path = tmp_path / "out.txt"
+        write_result(result, str(path), fmt="text")
+        assert "== demo: Demo result ==" in path.read_text()
+
+    def test_unknown_format(self, result, tmp_path):
+        with pytest.raises(ValueError):
+            write_result(result, str(tmp_path / "x"), fmt="yaml")
+
+
+class TestCliFormats:
+    def test_run_json(self, capsys):
+        assert main(["run", "figure6", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "figure6"
+        assert len(payload["rows"]) == 3
+
+    def test_run_csv(self, capsys):
+        assert main(["run", "figure6", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        rows = list(csv.DictReader(io.StringIO(out)))
+        assert len(rows) == 3
+
+    def test_run_output_file(self, tmp_path, capsys):
+        path = tmp_path / "figure6.json"
+        assert main(
+            ["run", "figure6", "--format", "json", "--output", str(path)]
+        ) == 0
+        assert json.loads(path.read_text())["experiment_id"] == "figure6"
+
+    def test_output_requires_single_experiment(self, capsys, tmp_path):
+        code = main(
+            ["run", "all", "--output", str(tmp_path / "x.json")]
+        )
+        assert code == 2

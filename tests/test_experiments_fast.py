@@ -1,0 +1,79 @@
+"""Fast experiment-level tests: registry, formatting, and the cheap
+experiments end to end (the heavy sweeps run under benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    get_experiment,
+    registered_experiments,
+)
+from repro.experiments.base import register
+
+
+class TestRegistry:
+    def test_all_thirteen_registered(self):
+        ids = registered_experiments()
+        expected = {
+            "table1", "table2", "table3",
+            "figure4", "figure5", "figure6", "figure7", "figure8",
+            "figure9", "figure10", "figure11", "figure12", "figure13",
+        }
+        assert set(ids) == expected
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("table1")(lambda: None)
+
+
+class TestFormatting:
+    def test_format_text(self):
+        result = ExperimentResult(
+            "x", "demo", [{"a": 1, "b": 0.5}, {"a": 2, "b": 0.25}], notes="n"
+        )
+        text = result.format_text()
+        assert "== x: demo ==" in text
+        assert "0.5000" in text
+        assert text.endswith("-- n")
+
+    def test_empty_rows(self):
+        result = ExperimentResult("x", "demo", [])
+        assert "(no rows)" in result.format_text()
+
+    def test_column_union(self):
+        result = ExperimentResult("x", "demo", [{"a": 1}, {"b": 2}])
+        assert result.column_names() == ["a", "b"]
+
+
+class TestCheapExperiments:
+    def test_figure5(self):
+        result = get_experiment("figure5")()
+        assert len(result.rows) == 3
+        # The storm moves north over the three panels.
+        lats = [row["center_lat"] for row in result.rows]
+        assert lats == sorted(lats)
+        # Coverage grows as it nears the northeast corridor.
+        assert (
+            result.rows[-1]["tier1_pops_tropical_zone"]
+            > result.rows[0]["tier1_pops_tropical_zone"]
+        )
+
+    def test_figure6(self):
+        result = get_experiment("figure6")()
+        counts = {
+            row["storm"]: row["tier1_pops_hurricane"] for row in result.rows
+        }
+        assert counts["Katrina"] < counts["Irene"] <= counts["Sandy"]
+
+    def test_figure7(self):
+        result = get_experiment("figure7")()
+        assert len(result.rows) == 2
+        small, large = result.rows
+        assert large["riskroute_miles"] >= small["riskroute_miles"]
+        for row in result.rows:
+            assert row["riskroute_bit_risk"] <= row["shortest_bit_risk"] + 1e-9
+            assert row["riskroute_miles"] >= row["shortest_miles"] - 1e-9

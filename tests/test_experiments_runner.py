@@ -1,0 +1,75 @@
+"""Tests for the bulk runner, case-study helpers, and example scripts."""
+
+import pathlib
+import py_compile
+
+import pytest
+
+from repro.experiments.figure12_tier1_casestudy import sample_ticks
+from repro.experiments.figure13_regional_casestudy import networks_in_scope
+from repro.experiments.runner import SLOW_EXPERIMENTS, run_many
+from repro.forecast.storms import storm_advisories
+
+
+class TestSampleTicks:
+    def test_includes_endpoints(self):
+        advisories = storm_advisories("Sandy")
+        ticks = sample_ticks(advisories, 5)
+        assert ticks[0] is advisories[0]
+        assert ticks[-1] is advisories[-1]
+        assert len(ticks) == 5
+
+    def test_monotone_times(self):
+        ticks = sample_ticks(storm_advisories("Irene"), 7)
+        times = [t.time for t in ticks]
+        assert times == sorted(times)
+
+    def test_more_ticks_than_advisories(self):
+        advisories = storm_advisories("Katrina")
+        ticks = sample_ticks(advisories, 1000)
+        assert len(ticks) == len(advisories)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            sample_ticks(storm_advisories("Sandy"), 0)
+
+
+class TestNetworksInScope:
+    def test_katrina_gulf_only(self):
+        in_scope = networks_in_scope("Katrina")
+        assert "Telepak" in in_scope          # Gulf states regional
+        assert "CoStreet" not in in_scope     # Pacific northwest
+
+    def test_sandy_atlantic(self):
+        in_scope = networks_in_scope("Sandy")
+        assert "Digex" in in_scope            # mid-Atlantic regional
+        assert "Goodnet" not in in_scope      # southwest
+
+    def test_deterministic(self):
+        assert networks_in_scope("Irene") == networks_in_scope("Irene")
+
+
+class TestRunner:
+    def test_explicit_ids(self):
+        results = run_many(["figure6"])
+        assert list(results) == ["figure6"]
+        assert results["figure6"].rows
+
+    def test_fast_skips_slow(self):
+        # Do not execute: just verify the selection logic via the
+        # constant and an empty explicit list.
+        assert "table1" in SLOW_EXPERIMENTS
+        assert "figure10" in SLOW_EXPERIMENTS
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run_many(["tableZZ"])
+
+
+class TestExamples:
+    def test_all_examples_compile(self):
+        examples = pathlib.Path(__file__).parent.parent / "examples"
+        scripts = sorted(examples.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            py_compile.compile(str(script), doraise=True)

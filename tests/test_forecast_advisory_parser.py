@@ -1,0 +1,165 @@
+"""Tests for repro.forecast.advisory and repro.forecast.parser — the
+advisory text round trip at the heart of Section 4.4/5.3."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.forecast.advisory import (
+    Advisory,
+    advisory_text,
+    compass_name,
+)
+from repro.forecast.parser import (
+    AdvisoryParseError,
+    parse_advisory_text,
+)
+from repro.geo.coords import GeoPoint
+
+
+def make_advisory(**overrides) -> Advisory:
+    defaults = dict(
+        storm_name="Irene",
+        number=33,
+        time=datetime(2011, 8, 26, 11, 0),
+        center=GeoPoint(35.2, -76.4),
+        max_wind_mph=100.0,
+        hurricane_radius_miles=90.0,
+        tropical_radius_miles=260.0,
+        motion_bearing_degrees=22.5,
+        motion_speed_mph=15.0,
+    )
+    defaults.update(overrides)
+    return Advisory(**defaults)
+
+
+class TestAdvisory:
+    def test_number_validation(self):
+        with pytest.raises(ValueError):
+            make_advisory(number=0)
+
+    def test_radii_validation(self):
+        with pytest.raises(ValueError):
+            make_advisory(hurricane_radius_miles=300.0)
+
+    def test_storm_class(self):
+        assert make_advisory().storm_class == "HURRICANE"
+        assert make_advisory(max_wind_mph=60.0).storm_class == "TROPICAL STORM"
+
+
+class TestCompass:
+    def test_cardinal_points(self):
+        assert compass_name(0.0) == "NORTH"
+        assert compass_name(90.0) == "EAST"
+        assert compass_name(180.0) == "SOUTH"
+        assert compass_name(270.0) == "WEST"
+
+    def test_intermediate(self):
+        assert compass_name(22.5) == "NORTH-NORTHEAST"
+
+    def test_wraparound(self):
+        assert compass_name(359.9) == "NORTH"
+        assert compass_name(-90.0) == "WEST"
+
+
+class TestTextGeneration:
+    def test_contains_paper_phrases(self):
+        text = advisory_text(make_advisory())
+        assert "THE CENTER OF HURRICANE IRENE WAS LOCATED NEAR" in text
+        assert "LATITUDE 35.2 NORTH" in text
+        assert "LONGITUDE 76.4 WEST" in text
+        assert "HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO 90 MILES" in text
+        assert "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 260 MILES" in text
+        assert "MOVING TOWARD THE NORTH-NORTHEAST NEAR 15 MPH" in text
+
+    def test_header(self):
+        text = advisory_text(make_advisory())
+        assert "ADVISORY NUMBER 33" in text
+
+    def test_tropical_storm_no_hurricane_sentence(self):
+        advisory = make_advisory(
+            max_wind_mph=50.0, hurricane_radius_miles=0.0
+        )
+        text = advisory_text(advisory)
+        assert "HURRICANE-FORCE WINDS" not in text
+        assert "TROPICAL-STORM-FORCE WINDS" in text
+
+    def test_km_conversion_present(self):
+        text = advisory_text(make_advisory())
+        assert "145 KM" in text  # 90 miles ~ 145 km
+
+
+class TestParser:
+    def test_round_trip(self):
+        advisory = make_advisory()
+        parsed = parse_advisory_text(advisory_text(advisory))
+        assert parsed.center.lat == pytest.approx(35.2)
+        assert parsed.center.lon == pytest.approx(-76.4)
+        assert parsed.hurricane_radius_miles == 90.0
+        assert parsed.tropical_radius_miles == 260.0
+        assert parsed.storm_name == "IRENE"
+        assert parsed.advisory_number == 33
+        assert parsed.motion_speed_mph == 15.0
+        assert parsed.motion_direction == "NORTH-NORTHEAST"
+        assert parsed.max_wind_mph == 100.0
+
+    def test_parses_paper_excerpt(self):
+        excerpt = (
+            "...THE CENTER OF HURRICANE IRENE WAS LOCATED NEAR LATITUDE "
+            "35.2 NORTH...LONGITUDE 76.4 WEST. IRENE IS MOVING TOWARD THE "
+            "NORTH-NORTHEAST NEAR 15 MPH...HURRICANE-FORCE WINDS EXTEND "
+            "OUTWARD UP TO 90 MILES...150 KM...FROM THE CENTER...AND "
+            "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 260 MILES..."
+            "415 KM..."
+        )
+        parsed = parse_advisory_text(excerpt)
+        assert parsed.center == GeoPoint(35.2, -76.4)
+        assert parsed.hurricane_radius_miles == 90.0
+        assert parsed.tropical_radius_miles == 260.0
+
+    def test_missing_center(self):
+        with pytest.raises(AdvisoryParseError):
+            parse_advisory_text("TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 100 MILES")
+
+    def test_missing_tropical_radius(self):
+        with pytest.raises(AdvisoryParseError):
+            parse_advisory_text(
+                "THE CENTER WAS LOCATED NEAR LATITUDE 30.0 NORTH..."
+                "LONGITUDE 80.0 WEST."
+            )
+
+    def test_empty_text(self):
+        with pytest.raises(AdvisoryParseError):
+            parse_advisory_text("   ")
+
+    def test_no_hurricane_radius_defaults_zero(self):
+        text = (
+            "LATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST. "
+            "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 120 MILES..."
+        )
+        parsed = parse_advisory_text(text)
+        assert parsed.hurricane_radius_miles == 0.0
+
+    def test_inconsistent_radii_rejected(self):
+        text = (
+            "LATITUDE 30.0 NORTH...LONGITUDE 80.0 WEST. "
+            "HURRICANE-FORCE WINDS EXTEND OUTWARD UP TO 300 MILES... "
+            "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 120 MILES..."
+        )
+        with pytest.raises(AdvisoryParseError):
+            parse_advisory_text(text)
+
+    def test_southern_eastern_hemispheres(self):
+        text = (
+            "LATITUDE 10.0 SOUTH...LONGITUDE 120.0 EAST. "
+            "TROPICAL-STORM-FORCE WINDS EXTEND OUTWARD UP TO 80 MILES..."
+        )
+        parsed = parse_advisory_text(text)
+        assert parsed.center == GeoPoint(-10.0, 120.0)
+
+    def test_lowercase_input_tolerated(self):
+        text = (
+            "latitude 30.0 north...longitude 80.0 west. "
+            "tropical-storm-force winds extend outward up to 120 miles..."
+        )
+        assert parse_advisory_text(text).tropical_radius_miles == 120.0

@@ -1,0 +1,128 @@
+"""Tests for repro.forecast.projection."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.forecast.advisory import Advisory
+from repro.forecast.projection import (
+    CONE_GROWTH_MILES_PER_HOUR,
+    AnticipatoryRiskField,
+    anticipatory_snapshots,
+    project_advisory,
+)
+from repro.geo.coords import GeoPoint
+from repro.geo.distance import destination_point, haversine_miles
+
+
+def moving_storm(speed=15.0, bearing=0.0) -> Advisory:
+    return Advisory(
+        storm_name="Test",
+        number=10,
+        time=datetime(2012, 10, 28, 11, 0),
+        center=GeoPoint(32.0, -75.0),
+        max_wind_mph=90.0,
+        hurricane_radius_miles=80.0,
+        tropical_radius_miles=220.0,
+        motion_bearing_degrees=bearing,
+        motion_speed_mph=speed,
+    )
+
+
+class TestProjection:
+    def test_centers_advance_along_bearing(self):
+        advisory = moving_storm(speed=15.0, bearing=0.0)
+        projections = project_advisory(advisory, leads_hours=(12.0, 24.0))
+        d12 = haversine_miles(advisory.center, projections[0].center)
+        d24 = haversine_miles(advisory.center, projections[1].center)
+        assert d12 == pytest.approx(15.0 * 12, rel=1e-3)
+        assert d24 == pytest.approx(15.0 * 24, rel=1e-3)
+        assert projections[1].center.lat > projections[0].center.lat
+
+    def test_cone_grows_with_lead(self):
+        projections = project_advisory(moving_storm(), leads_hours=(12.0, 48.0))
+        assert projections[0].cone_radius_miles == pytest.approx(
+            CONE_GROWTH_MILES_PER_HOUR * 12
+        )
+        assert projections[1].cone_radius_miles > projections[0].cone_radius_miles
+
+    def test_stationary_storm(self):
+        projections = project_advisory(
+            moving_storm(speed=0.0), leads_hours=(24.0,)
+        )
+        assert projections[0].center == moving_storm().center
+
+    def test_negative_lead_rejected(self):
+        with pytest.raises(ValueError):
+            project_advisory(moving_storm(), leads_hours=(-1.0,))
+
+    def test_threatened_radius_includes_cone(self):
+        projection = project_advisory(moving_storm(), leads_hours=(48.0,))[0]
+        assert projection.threatened_radius_miles == pytest.approx(
+            220.0 + CONE_GROWTH_MILES_PER_HOUR * 48
+        )
+
+
+class TestAnticipatorySnapshots:
+    def test_current_field_full_weight(self):
+        pairs = anticipatory_snapshots(moving_storm())
+        assert pairs[0][0] == 1.0
+        assert pairs[0][1].center == moving_storm().center
+
+    def test_weights_decay_with_lead(self):
+        pairs = anticipatory_snapshots(
+            moving_storm(), leads_hours=(12.0, 24.0, 48.0)
+        )
+        weights = [w for w, _ in pairs[1:]]
+        assert weights == sorted(weights, reverse=True)
+        assert all(0.0 < w < 1.0 for w in weights)
+
+    def test_far_leads_dropped(self):
+        pairs = anticipatory_snapshots(moving_storm(), leads_hours=(1000.0,))
+        assert len(pairs) == 1  # only the current field survives
+
+
+class TestAnticipatoryRiskField:
+    def test_prices_future_path(self):
+        """A point 300 miles downtrack (outside today's winds) carries
+        anticipatory risk."""
+        advisory = moving_storm(speed=15.0, bearing=0.0)
+        field = AnticipatoryRiskField(advisory, leads_hours=(24.0,))
+        downtrack = destination_point(advisory.center, 0.0, 360.0)
+        reactive = advisory.tropical_radius_miles
+        assert haversine_miles(advisory.center, downtrack) > reactive
+        assert field.risk_at(downtrack) > 0.0
+
+    def test_current_risk_undiscounted(self):
+        advisory = moving_storm()
+        field = AnticipatoryRiskField(advisory)
+        assert field.risk_at(advisory.center) == pytest.approx(100.0)
+
+    def test_untouched_areas_zero(self):
+        field = AnticipatoryRiskField(moving_storm())
+        assert field.risk_at(GeoPoint(47.0, -120.0)) == 0.0
+
+    def test_pop_risks_and_threatened(self, diamond_network):
+        # A storm south of the diamond heading north threatens it.
+        advisory = Advisory(
+            storm_name="Test",
+            number=1,
+            time=datetime(2012, 10, 28, 11, 0),
+            center=GeoPoint(32.0, -95.0),
+            max_wind_mph=90.0,
+            hurricane_radius_miles=60.0,
+            tropical_radius_miles=150.0,
+            motion_bearing_degrees=0.0,
+            motion_speed_mph=14.0,
+        )
+        reactive_risks = {
+            pop.pop_id
+            for pop in diamond_network.pops()
+            if haversine_miles(pop.location, advisory.center) <= 150.0
+        }
+        field = AnticipatoryRiskField(advisory, leads_hours=(24.0,))
+        threatened = set(field.pops_threatened(diamond_network))
+        assert threatened >= reactive_risks
+        assert "diamond:south" in threatened  # in the projected path
+        risks = field.pop_risks(diamond_network)
+        assert set(risks) == {p.pop_id for p in diamond_network.pops()}

@@ -1,0 +1,101 @@
+"""Tests for repro.graph.components."""
+
+import pytest
+
+from repro.graph.components import (
+    articulation_points,
+    bridges,
+    connected_components,
+    is_connected,
+    largest_component,
+)
+from repro.graph.core import Graph
+
+
+def two_triangles_with_bridge() -> Graph:
+    """Triangles a-b-c and d-e-f joined by bridge c-d."""
+    return Graph.from_edges(
+        [
+            ("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 1.0),
+            ("d", "e", 1.0), ("e", "f", 1.0), ("d", "f", 1.0),
+            ("c", "d", 1.0),
+        ]
+    )
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert len(connected_components(two_triangles_with_bridge())) == 1
+
+    def test_two_components(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("c", "d", 1.0)])
+        comps = connected_components(g)
+        assert sorted(sorted(c) for c in comps) == [["a", "b"], ["c", "d"]]
+
+    def test_isolated_node_is_component(self):
+        g = Graph()
+        g.add_node("solo")
+        assert connected_components(g) == [["solo"]]
+
+    def test_empty_graph(self):
+        assert connected_components(Graph()) == []
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(two_triangles_with_bridge())
+
+    def test_disconnected(self):
+        g = Graph.from_edges([("a", "b", 1.0)])
+        g.add_node("island")
+        assert not is_connected(g)
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph())
+
+
+class TestLargestComponent:
+    def test_picks_largest(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0), ("x", "y", 1.0)])
+        assert sorted(largest_component(g)) == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert largest_component(Graph()) == []
+
+
+class TestArticulationPoints:
+    def test_bridge_endpoints_are_articulation(self):
+        points = articulation_points(two_triangles_with_bridge())
+        assert points == {"c", "d"}
+
+    def test_cycle_has_none(self):
+        g = Graph.from_edges(
+            [("a", "b", 1.0), ("b", "c", 1.0), ("c", "a", 1.0)]
+        )
+        assert articulation_points(g) == set()
+
+    def test_path_interior_nodes(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0), ("c", "d", 1.0)])
+        assert articulation_points(g) == {"b", "c"}
+
+    def test_star_center(self):
+        g = Graph.from_edges(
+            [("hub", "s1", 1.0), ("hub", "s2", 1.0), ("hub", "s3", 1.0)]
+        )
+        assert articulation_points(g) == {"hub"}
+
+
+class TestBridges:
+    def test_single_bridge(self):
+        found = bridges(two_triangles_with_bridge())
+        assert [frozenset(e) for e in found] == [frozenset(("c", "d"))]
+
+    def test_tree_all_edges_are_bridges(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+        assert len(bridges(g)) == 2
+
+    def test_cycle_has_no_bridges(self):
+        g = Graph.from_edges(
+            [("a", "b", 1.0), ("b", "c", 1.0), ("c", "a", 1.0)]
+        )
+        assert bridges(g) == []

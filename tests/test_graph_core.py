@@ -1,0 +1,170 @@
+"""Tests for repro.graph.core."""
+
+import pytest
+
+from repro.graph.core import EdgeExistsError, Graph, NodeNotFoundError
+
+
+def triangle() -> Graph:
+    return Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 4.0)])
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.node_count == 0
+        assert g.edge_count == 0
+
+    def test_from_edges(self):
+        g = triangle()
+        assert g.node_count == 3
+        assert g.edge_count == 3
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("a")
+        assert g.node_count == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a", 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_nan_weight_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", float("nan"))
+
+    def test_duplicate_edge_rejected(self):
+        g = triangle()
+        with pytest.raises(EdgeExistsError):
+            g.add_edge("a", "b", 9.0)
+        with pytest.raises(EdgeExistsError):
+            g.add_edge("b", "a", 9.0)
+
+
+class TestMutation:
+    def test_set_weight(self):
+        g = triangle()
+        g.set_weight("a", "b", 7.0)
+        assert g.weight("a", "b") == 7.0
+        assert g.weight("b", "a") == 7.0
+
+    def test_set_weight_missing_edge(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        with pytest.raises(KeyError):
+            g.set_weight("a", "b", 1.0)
+
+    def test_set_weight_missing_node(self):
+        g = triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.set_weight("a", "zzz", 1.0)
+
+    def test_remove_edge(self):
+        g = triangle()
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.edge_count == 2
+
+    def test_remove_missing_edge(self):
+        g = triangle()
+        g.remove_edge("a", "b")
+        with pytest.raises(KeyError):
+            g.remove_edge("a", "b")
+
+    def test_remove_node_removes_incident_edges(self):
+        g = triangle()
+        g.remove_node("a")
+        assert g.node_count == 2
+        assert g.edge_count == 1
+        assert g.has_edge("b", "c")
+
+    def test_remove_missing_node(self):
+        g = triangle()
+        with pytest.raises(NodeNotFoundError):
+            g.remove_node("zzz")
+
+
+class TestQueries:
+    def test_contains(self):
+        g = triangle()
+        assert "a" in g
+        assert "z" not in g
+
+    def test_len(self):
+        assert len(triangle()) == 3
+
+    def test_edges_yields_each_once(self):
+        edges = list(triangle().edges())
+        assert len(edges) == 3
+        seen = {frozenset((u, v)) for u, v, _ in edges}
+        assert len(seen) == 3
+
+    def test_weight_lookup(self):
+        g = triangle()
+        assert g.weight("b", "c") == 2.0
+        assert g.weight("c", "b") == 2.0
+
+    def test_weight_missing(self):
+        with pytest.raises(KeyError):
+            triangle().weight("a", "zzz")
+
+    def test_neighbors_is_copy(self):
+        g = triangle()
+        neighbors = g.neighbors("a")
+        neighbors["b"] = 999.0
+        assert g.weight("a", "b") == 1.0
+
+    def test_degree(self):
+        g = triangle()
+        assert g.degree("a") == 2
+
+    def test_average_degree(self):
+        assert triangle().average_degree() == pytest.approx(2.0)
+        assert Graph().average_degree() == 0.0
+
+    def test_path_weight(self):
+        g = triangle()
+        assert g.path_weight(["a", "b", "c"]) == pytest.approx(3.0)
+
+    def test_path_weight_broken_path(self):
+        g = triangle()
+        g.remove_edge("b", "c")
+        with pytest.raises(KeyError):
+            g.path_weight(["a", "b", "c"])
+
+    def test_nodes_insertion_order(self):
+        g = Graph()
+        for name in ("x", "a", "m"):
+            g.add_node(name)
+        assert list(g.nodes()) == ["x", "a", "m"]
+
+
+class TestCopies:
+    def test_copy_independent(self):
+        g = triangle()
+        clone = g.copy()
+        clone.remove_edge("a", "b")
+        assert g.has_edge("a", "b")
+
+    def test_subgraph_keeps_internal_edges(self):
+        g = triangle()
+        sub = g.subgraph(["a", "b"])
+        assert sub.node_count == 2
+        assert sub.has_edge("a", "b")
+        assert not sub.has_edge("a", "c")
+
+    def test_subgraph_ignores_unknown_nodes(self):
+        sub = triangle().subgraph(["a", "ghost"])
+        assert sub.node_count == 1
+
+    def test_repr(self):
+        assert "nodes=3" in repr(triangle())

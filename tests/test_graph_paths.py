@@ -1,0 +1,101 @@
+"""Tests for repro.graph.paths."""
+
+import pytest
+
+from repro.graph.core import Graph
+from repro.graph.paths import (
+    edge_disjoint_backup,
+    k_shortest_paths,
+    path_avoiding_edge,
+    path_avoiding_nodes,
+)
+from repro.graph.shortest_path import NoPathError
+
+
+def ladder() -> Graph:
+    """Two parallel corridors a-b-z (cost 3) and a-c-z (cost 4), plus a
+    slow direct edge (cost 10)."""
+    return Graph.from_edges(
+        [
+            ("a", "b", 1.0), ("b", "z", 2.0),
+            ("a", "c", 2.0), ("c", "z", 2.0),
+            ("a", "z", 10.0),
+        ]
+    )
+
+
+class TestKShortest:
+    def test_first_is_shortest(self):
+        paths = k_shortest_paths(ladder(), "a", "z", 1)
+        assert paths == [["a", "b", "z"]]
+
+    def test_ordering_by_weight(self):
+        g = ladder()
+        paths = k_shortest_paths(g, "a", "z", 3)
+        weights = [g.path_weight(p) for p in paths]
+        assert weights == sorted(weights)
+        assert paths[0] == ["a", "b", "z"]
+        assert paths[1] == ["a", "c", "z"]
+        assert paths[2] == ["a", "z"]
+
+    def test_paths_are_loopless(self):
+        for path in k_shortest_paths(ladder(), "a", "z", 3):
+            assert len(path) == len(set(path))
+
+    def test_fewer_paths_than_k(self):
+        g = Graph.from_edges([("a", "b", 1.0)])
+        assert len(k_shortest_paths(g, "a", "b", 5)) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            k_shortest_paths(ladder(), "a", "z", 0)
+
+    def test_no_path(self):
+        g = ladder()
+        g.add_node("island")
+        with pytest.raises(NoPathError):
+            k_shortest_paths(g, "a", "island", 2)
+
+
+class TestAvoidance:
+    def test_avoid_node(self):
+        path = path_avoiding_nodes(ladder(), "a", "z", ["b"])
+        assert "b" not in path
+        assert path == ["a", "c", "z"]
+
+    def test_avoid_endpoints_ignored(self):
+        path = path_avoiding_nodes(ladder(), "a", "z", ["a", "z", "b"])
+        assert path == ["a", "c", "z"]
+
+    def test_avoid_all_transit(self):
+        path = path_avoiding_nodes(ladder(), "a", "z", ["b", "c"])
+        assert path == ["a", "z"]
+
+    def test_avoid_edge(self):
+        path = path_avoiding_edge(ladder(), "a", "z", ("a", "b"))
+        assert path == ["a", "c", "z"]
+
+    def test_avoid_bridge_disconnects(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+        with pytest.raises(NoPathError):
+            path_avoiding_edge(g, "a", "c", ("b", "c"))
+
+
+class TestDisjointBackup:
+    def test_backup_exists(self):
+        backup = edge_disjoint_backup(ladder(), "a", "z")
+        assert backup is not None
+        assert backup[0] == "a" and backup[-1] == "z"
+        assert backup != ["a", "b", "z"]
+
+    def test_backup_edge_disjoint(self):
+        g = ladder()
+        primary = ["a", "b", "z"]
+        backup = edge_disjoint_backup(g, "a", "z")
+        primary_edges = {frozenset(e) for e in zip(primary, primary[1:])}
+        backup_edges = {frozenset(e) for e in zip(backup, backup[1:])}
+        assert not primary_edges & backup_edges
+
+    def test_no_backup_on_tree(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0)])
+        assert edge_disjoint_backup(g, "a", "c") is None

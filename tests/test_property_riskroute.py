@@ -1,0 +1,100 @@
+"""Property-based tests for the RiskRoute core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitrisk import path_metrics
+from repro.core.riskroute import RiskRouter
+from repro.graph.core import Graph
+from repro.graph.shortest_path import NoPathError
+from repro.risk.model import RiskModel
+
+
+@st.composite
+def routed_worlds(draw):
+    """A connected random graph plus a compatible risk model."""
+    n = draw(st.integers(3, 10))
+    nodes = [f"p{i}" for i in range(n)]
+    g = Graph()
+    for node in nodes:
+        g.add_node(node)
+    # Spanning chain guarantees connectivity.
+    for a, b in zip(nodes, nodes[1:]):
+        g.add_edge(a, b, draw(st.floats(10.0, 500.0)))
+    # Random chords.
+    extra = draw(st.integers(0, n))
+    pairs = [(i, j) for i in range(n) for j in range(i + 2, n)]
+    if pairs:
+        for i, j in draw(
+            st.lists(
+                st.sampled_from(pairs), min_size=0, max_size=extra, unique=True
+            )
+        ):
+            g.add_edge(nodes[i], nodes[j], draw(st.floats(10.0, 800.0)))
+
+    raw_shares = [draw(st.floats(0.01, 1.0)) for _ in nodes]
+    total = sum(raw_shares)
+    shares = {node: s / total for node, s in zip(nodes, raw_shares)}
+    oh = {node: draw(st.floats(0.0, 0.05)) for node in nodes}
+    of = {node: draw(st.sampled_from([0.0, 0.0, 50.0, 100.0])) for node in nodes}
+    gamma_h = draw(st.sampled_from([0.0, 1e4, 1e5, 1e6]))
+    model = RiskModel(shares, oh, of, gamma_h=gamma_h, gamma_f=1e3)
+    return g, model
+
+
+class TestOptimizerInvariants:
+    @given(routed_worlds())
+    @settings(max_examples=50, deadline=None)
+    def test_riskroute_never_beats_shortest_on_miles(self, world):
+        g, model = world
+        router = RiskRouter(g, model)
+        nodes = list(g.nodes())
+        pair = router.route_pair(nodes[0], nodes[-1])
+        assert pair.shortest.bit_miles <= pair.riskroute.bit_miles + 1e-6
+
+    @given(routed_worlds())
+    @settings(max_examples=50, deadline=None)
+    def test_shortest_never_beats_riskroute_on_bit_risk(self, world):
+        g, model = world
+        router = RiskRouter(g, model)
+        nodes = list(g.nodes())
+        pair = router.route_pair(nodes[0], nodes[-1])
+        assert (
+            pair.riskroute.bit_risk_miles
+            <= pair.shortest.bit_risk_miles + 1e-6
+        )
+
+    @given(routed_worlds())
+    @settings(max_examples=50, deadline=None)
+    def test_optimum_beats_every_reported_alternative(self, world):
+        """The exact per-pair route is no worse than any per-source
+        approximate route for the same pair."""
+        g, model = world
+        router = RiskRouter(g, model)
+        nodes = list(g.nodes())
+        source = nodes[0]
+        exact = router.risk_routes_from(source, exact=True)
+        approx = router.risk_routes_from(source, exact=False)
+        for target, route in approx.items():
+            assert (
+                exact[target].bit_risk_miles <= route.bit_risk_miles + 1e-6
+            )
+
+    @given(routed_worlds())
+    @settings(max_examples=50, deadline=None)
+    def test_reported_costs_match_path_re_evaluation(self, world):
+        g, model = world
+        router = RiskRouter(g, model)
+        nodes = list(g.nodes())
+        for target, route in router.risk_routes_from(nodes[0], exact=True).items():
+            metrics = path_metrics(g, list(route.path), model)
+            assert abs(metrics.bit_risk_miles - route.bit_risk_miles) < 1e-9
+
+    @given(routed_worlds())
+    @settings(max_examples=30, deadline=None)
+    def test_paths_are_simple(self, world):
+        g, model = world
+        router = RiskRouter(g, model)
+        nodes = list(g.nodes())
+        for route in router.risk_routes_from(nodes[0], exact=True).values():
+            assert len(route.path) == len(set(route.path))

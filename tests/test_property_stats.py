@@ -1,0 +1,130 @@
+"""Property-based tests for the statistics substrate."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coords import GeoPoint
+from repro.stats.divergence import (
+    jensen_shannon_discrete,
+    kl_divergence_discrete,
+)
+from repro.stats.kde import GaussianKDE
+from repro.stats.regression import linear_regression, r_squared
+
+lats = st.floats(min_value=25.0, max_value=49.0)
+lons = st.floats(min_value=-124.0, max_value=-67.0)
+points = st.builds(GeoPoint, lats, lons)
+event_lists = st.lists(points, min_size=1, max_size=25)
+bandwidths = st.floats(min_value=5.0, max_value=500.0)
+
+
+class TestKdeProperties:
+    @given(event_lists, bandwidths, points)
+    @settings(max_examples=60, deadline=None)
+    def test_density_non_negative(self, events, bandwidth, query):
+        kde = GaussianKDE(events, bandwidth)
+        assert kde.density(query) >= 0.0
+
+    @given(event_lists, bandwidths)
+    @settings(max_examples=40, deadline=None)
+    def test_peak_at_events(self, events, bandwidth):
+        """Density at some event location >= density far away."""
+        kde = GaussianKDE(events, bandwidth)
+        at_events = kde.density_many(events)
+        far = kde.density(GeoPoint(25.0, -67.0))
+        assert at_events.max() >= far - 1e-15
+
+    @given(points, bandwidths)
+    @settings(max_examples=40, deadline=None)
+    def test_single_event_radial_decay(self, center, bandwidth):
+        from repro.geo.distance import destination_point
+
+        kde = GaussianKDE([center], bandwidth)
+        densities = [
+            kde.density(destination_point(center, 90.0, radius))
+            for radius in (0.0, bandwidth, 2 * bandwidth, 4 * bandwidth)
+        ]
+        for closer, farther in zip(densities, densities[1:]):
+            assert closer >= farther - 1e-18
+
+    @given(event_lists, bandwidths, st.lists(points, min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scalar(self, events, bandwidth, queries):
+        kde = GaussianKDE(events, bandwidth)
+        batch = kde.density_many(queries)
+        for query, value in zip(queries, batch):
+            assert math.isclose(
+                kde.density(query), value, rel_tol=1e-9, abs_tol=1e-300
+            )
+
+
+def _distributions(size):
+    return st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=size, max_size=size
+    ).map(lambda ws: [w / sum(ws) for w in ws])
+
+
+class TestDivergenceProperties:
+    @given(_distributions(5), _distributions(5))
+    @settings(max_examples=60, deadline=None)
+    def test_kl_non_negative(self, p, q):
+        assert kl_divergence_discrete(p, q) >= -1e-12
+
+    @given(_distributions(6))
+    @settings(max_examples=40, deadline=None)
+    def test_kl_self_zero(self, p):
+        assert abs(kl_divergence_discrete(p, p)) < 1e-12
+
+    @given(_distributions(5), _distributions(5))
+    @settings(max_examples=60, deadline=None)
+    def test_js_symmetric_and_bounded(self, p, q):
+        forward = jensen_shannon_discrete(p, q)
+        backward = jensen_shannon_discrete(q, p)
+        assert abs(forward - backward) < 1e-12
+        assert -1e-12 <= forward <= math.log(2.0) + 1e-12
+
+
+class TestRegressionProperties:
+    xy_lists = st.lists(
+        st.tuples(
+            st.floats(-100.0, 100.0),
+            st.floats(-100.0, 100.0),
+        ),
+        min_size=3,
+        max_size=30,
+    )
+
+    @given(xy_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_r_squared_in_unit_interval(self, pairs):
+        x = [a for a, _ in pairs]
+        y = [b for _, b in pairs]
+        fit = linear_regression(x, y)
+        assert 0.0 <= fit.r_squared <= 1.0 + 1e-12
+
+    @given(
+        st.lists(st.floats(-50.0, 50.0), min_size=3, max_size=20, unique=True),
+        st.floats(-5.0, 5.0),
+        st.floats(-10.0, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact_line_recovered(self, x, slope, intercept):
+        y = [slope * v + intercept for v in x]
+        fit = linear_regression(x, y)
+        assert abs(fit.slope - slope) < 1e-6 * max(1.0, abs(slope))
+        assert fit.r_squared > 1.0 - 1e-9 or all(
+            abs(v - y[0]) < 1e-12 for v in y
+        )
+
+    @given(xy_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_fit_beats_mean_predictor(self, pairs):
+        """OLS predictions can never explain less variance than y-bar."""
+        x = [a for a, _ in pairs]
+        y = [b for _, b in pairs]
+        fit = linear_regression(x, y)
+        mean_prediction = [sum(y) / len(y)] * len(y)
+        assert fit.r_squared >= r_squared(y, mean_prediction) - 1e-12

@@ -1,0 +1,197 @@
+"""Tests for repro.risk (historical, forecasted, impact, composed)."""
+
+import numpy as np
+import pytest
+
+from repro.forecast.risk import ForecastSnapshot
+from repro.geo.coords import GeoPoint
+from repro.risk.forecasted import ForecastedRiskModel, no_forecast
+from repro.risk.historical import RISK_UNIT_MILES, HistoricalRiskModel
+from repro.risk.impact import ImpactModel, network_impact_model
+from repro.risk.model import DEFAULT_GAMMA_F, DEFAULT_GAMMA_H, RiskModel
+from repro.stats.kde import GaussianKDE
+from repro.topology.network import Network, PoP
+
+RISKY_SPOT = GeoPoint(30.0, -90.0)
+SAFE_SPOT = GeoPoint(45.0, -110.0)
+
+
+def toy_historical() -> HistoricalRiskModel:
+    events = [
+        GeoPoint(30.0 + d, -90.0 + d) for d in (-0.2, -0.1, 0.0, 0.1, 0.2)
+    ]
+    return HistoricalRiskModel({"storm": GaussianKDE(events, 40.0)})
+
+
+def toy_network() -> Network:
+    net = Network("toy")
+    net.add_pop(PoP("toy:risky", "Risky", RISKY_SPOT))
+    net.add_pop(PoP("toy:safe", "Safe", SAFE_SPOT))
+    net.add_link("toy:risky", "toy:safe")
+    return net
+
+
+class TestHistorical:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            HistoricalRiskModel({})
+
+    def test_negative_weight_rejected(self):
+        events = [RISKY_SPOT]
+        with pytest.raises(ValueError):
+            HistoricalRiskModel(
+                {"storm": GaussianKDE(events, 10.0)}, weights={"storm": -1.0}
+            )
+
+    def test_risk_higher_near_events(self):
+        model = toy_historical()
+        assert model.risk_at(RISKY_SPOT) > model.risk_at(SAFE_SPOT)
+
+    def test_equation2_normalisation(self):
+        """Risk = density * sigma * unit, per the module's convention."""
+        model = toy_historical()
+        kde = GaussianKDE(
+            [GeoPoint(30.0 + d, -90.0 + d) for d in (-0.2, -0.1, 0.0, 0.1, 0.2)],
+            40.0,
+        )
+        expected = kde.density(RISKY_SPOT) * 40.0 * RISK_UNIT_MILES
+        assert model.risk_at(RISKY_SPOT) == pytest.approx(expected)
+
+    def test_weights_scale_risk(self):
+        base = toy_historical()
+        doubled = base.reweighted({"storm": 2.0})
+        assert doubled.risk_at(RISKY_SPOT) == pytest.approx(
+            2.0 * base.risk_at(RISKY_SPOT)
+        )
+
+    def test_zero_weight_removes_class(self):
+        base = toy_historical()
+        muted = base.reweighted({"storm": 0.0})
+        assert muted.risk_at(RISKY_SPOT) == 0.0
+
+    def test_pop_risks(self):
+        risks = toy_historical().pop_risks(toy_network())
+        assert set(risks) == {"toy:risky", "toy:safe"}
+        assert risks["toy:risky"] > risks["toy:safe"]
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            toy_historical().class_risk_many("quake", [RISKY_SPOT])
+
+    def test_risk_many_empty(self):
+        assert toy_historical().risk_many([]).shape == (0,)
+
+
+class TestForecasted:
+    def snapshot(self):
+        return ForecastSnapshot(RISKY_SPOT, 50.0, 150.0)
+
+    def test_no_forecast_zero(self):
+        model = no_forecast()
+        assert model.risk_at(RISKY_SPOT) == 0.0
+        assert model.snapshot_count == 0
+
+    def test_single_snapshot(self):
+        model = ForecastedRiskModel([self.snapshot()])
+        assert model.risk_at(RISKY_SPOT) == 100.0
+        assert model.risk_at(SAFE_SPOT) == 0.0
+
+    def test_max_over_snapshots(self):
+        weak = ForecastSnapshot(RISKY_SPOT, 0.0, 150.0)
+        strong = self.snapshot()
+        model = ForecastedRiskModel([weak, strong])
+        assert model.risk_at(RISKY_SPOT) == 100.0
+
+    def test_pop_risks_and_scope(self):
+        model = ForecastedRiskModel([self.snapshot()])
+        net = toy_network()
+        risks = model.pop_risks(net)
+        assert risks["toy:risky"] == 100.0
+        assert risks["toy:safe"] == 0.0
+        assert model.pops_in_scope(net) == ["toy:risky"]
+        assert model.pops_under_hurricane(net) == ["toy:risky"]
+
+    def test_risk_many(self):
+        model = ForecastedRiskModel([self.snapshot()])
+        assert model.risk_many([RISKY_SPOT, SAFE_SPOT]) == [100.0, 0.0]
+
+
+class TestImpact:
+    def test_network_impact_shares_sum_to_one(self, teliasonera):
+        impact = network_impact_model(teliasonera)
+        assert sum(impact.shares().values()) == pytest.approx(1.0)
+
+    def test_impact_sum(self, teliasonera):
+        impact = network_impact_model(teliasonera)
+        ids = teliasonera.pop_ids()
+        assert impact.impact(ids[0], ids[1]) == pytest.approx(
+            impact.share(ids[0]) + impact.share(ids[1])
+        )
+
+    def test_mean_share(self, teliasonera):
+        impact = network_impact_model(teliasonera)
+        assert impact.mean_share() == pytest.approx(1.0 / 15.0)
+
+    def test_cached_by_name(self, teliasonera):
+        assert network_impact_model(teliasonera) is network_impact_model(
+            teliasonera
+        )
+
+
+class TestRiskModel:
+    def toy_model(self, gamma_h=1e5, gamma_f=1e3):
+        shares = {"a": 0.5, "b": 0.5}
+        oh = {"a": 0.01, "b": 0.002}
+        of = {"a": 0.0, "b": 100.0}
+        return RiskModel(shares, oh, of, gamma_h, gamma_f)
+
+    def test_defaults_match_paper(self):
+        assert DEFAULT_GAMMA_H == 1e5
+        assert DEFAULT_GAMMA_F == 1e3
+
+    def test_negative_gamma_rejected(self):
+        with pytest.raises(ValueError):
+            self.toy_model(gamma_h=-1.0)
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RiskModel({"a": 1.0}, {"a": 0.1}, {"b": 0.0})
+
+    def test_node_risk_composition(self):
+        model = self.toy_model()
+        assert model.node_risk("a") == pytest.approx(1e5 * 0.01)
+        assert model.node_risk("b") == pytest.approx(1e5 * 0.002 + 1e3 * 100.0)
+
+    def test_impact(self):
+        assert self.toy_model().impact("a", "b") == pytest.approx(1.0)
+
+    def test_unknown_pop(self):
+        model = self.toy_model()
+        with pytest.raises(KeyError):
+            model.share("zzz")
+        with pytest.raises(KeyError):
+            model.historical_risk("zzz")
+        with pytest.raises(KeyError):
+            model.forecast_risk("zzz")
+
+    def test_with_gammas(self):
+        model = self.toy_model().with_gammas(1e6, 0.0)
+        assert model.node_risk("b") == pytest.approx(1e6 * 0.002)
+
+    def test_with_forecast_risk(self):
+        model = self.toy_model().with_forecast_risk({"a": 50.0, "b": 0.0})
+        assert model.node_risk("a") == pytest.approx(1e5 * 0.01 + 1e3 * 50.0)
+
+    def test_with_forecast_risk_mismatch(self):
+        with pytest.raises(ValueError):
+            self.toy_model().with_forecast_risk({"a": 0.0})
+
+    def test_mean_pop_risk(self):
+        assert self.toy_model().mean_pop_risk() == pytest.approx(0.006)
+
+    def test_for_network_integration(self, teliasonera, teliasonera_model):
+        model = teliasonera_model
+        assert set(model.pop_ids()) == set(teliasonera.pop_ids())
+        assert sum(model.share(p) for p in model.pop_ids()) == pytest.approx(1.0)
+        assert all(model.historical_risk(p) > 0 for p in model.pop_ids())
+        assert all(model.forecast_risk(p) == 0.0 for p in model.pop_ids())

@@ -1,0 +1,127 @@
+"""Tests for repro.stats.kde."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo.coords import CONTINENTAL_US, GeoPoint
+from repro.geo.grid import GeoGrid
+from repro.stats.kde import GaussianKDE, points_to_array
+
+CLUSTER = [
+    GeoPoint(35.0, -95.0),
+    GeoPoint(35.1, -95.1),
+    GeoPoint(34.9, -94.9),
+]
+FAR_AWAY = GeoPoint(45.0, -70.0)
+
+
+class TestConstruction:
+    def test_empty_events_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE([], 10.0)
+
+    def test_non_positive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, 0.0)
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, -5.0)
+
+    def test_nan_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, float("nan"))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, 10.0, chunk_size=0)
+
+    def test_n_events(self):
+        assert GaussianKDE(CLUSTER, 10.0).n_events == 3
+
+
+class TestDensity:
+    def test_higher_near_events(self):
+        kde = GaussianKDE(CLUSTER, 30.0)
+        assert kde.density(CLUSTER[0]) > kde.density(FAR_AWAY)
+
+    def test_single_event_peak_value(self):
+        # At the event itself, density = 1 / (2 pi sigma^2).
+        sigma = 25.0
+        kde = GaussianKDE([CLUSTER[0]], sigma)
+        expected = 1.0 / (2.0 * math.pi * sigma**2)
+        assert kde.density(CLUSTER[0]) == pytest.approx(expected, rel=1e-9)
+
+    def test_density_many_matches_scalar(self):
+        kde = GaussianKDE(CLUSTER, 30.0)
+        many = kde.density_many([CLUSTER[0], FAR_AWAY])
+        assert many[0] == pytest.approx(kde.density(CLUSTER[0]))
+        assert many[1] == pytest.approx(kde.density(FAR_AWAY))
+
+    def test_density_many_empty(self):
+        assert GaussianKDE(CLUSTER, 30.0).density_many([]).shape == (0,)
+
+    def test_chunking_consistent(self):
+        points = [GeoPoint(30.0 + i * 0.1, -100.0) for i in range(50)]
+        small = GaussianKDE(CLUSTER, 30.0, chunk_size=7)
+        large = GaussianKDE(CLUSTER, 30.0, chunk_size=1000)
+        np.testing.assert_allclose(
+            small.density_many(points), large.density_many(points)
+        )
+
+    def test_density_array_shape_validation(self):
+        kde = GaussianKDE(CLUSTER, 30.0)
+        with pytest.raises(ValueError):
+            kde.density_array(np.zeros((3, 3)))
+
+    def test_wider_bandwidth_flattens(self):
+        narrow = GaussianKDE(CLUSTER, 5.0)
+        wide = GaussianKDE(CLUSTER, 500.0)
+        ratio_narrow = narrow.density(CLUSTER[0]) / max(
+            narrow.density(FAR_AWAY), 1e-300
+        )
+        ratio_wide = wide.density(CLUSTER[0]) / wide.density(FAR_AWAY)
+        assert ratio_narrow > ratio_wide
+
+    def test_integrates_to_one_approximately(self):
+        # Integrate over a fine local grid: cell density * cell area.
+        kde = GaussianKDE([GeoPoint(39.0, -95.0)], 20.0)
+        grid = GeoGrid(
+            type(CONTINENTAL_US)(37.0, -98.0, 41.0, -92.0), 120, 120
+        )
+        field = kde.evaluate_grid(grid)
+        # Cell area in sq miles: 69.05 miles/deg lat, cos-lat scaled lon.
+        cell_h = grid.cell_height_degrees * 69.05
+        cell_w = grid.cell_width_degrees * 69.05 * math.cos(math.radians(39.0))
+        mass = field.total_mass() * cell_h * cell_w
+        assert mass == pytest.approx(1.0, rel=0.02)
+
+
+class TestLogDensity:
+    def test_matches_log_of_density(self):
+        kde = GaussianKDE(CLUSTER, 30.0)
+        logs = kde.log_density_many([CLUSTER[0]])
+        assert logs[0] == pytest.approx(math.log(kde.density(CLUSTER[0])))
+
+    def test_floor_keeps_finite(self):
+        kde = GaussianKDE(CLUSTER, 1.0)
+        # Thousands of miles away: raw density underflows to 0.
+        logs = kde.log_density_many([GeoPoint(70.0, 170.0)])
+        assert np.isfinite(logs[0])
+
+
+class TestHelpers:
+    def test_points_to_array(self):
+        arr = points_to_array(CLUSTER)
+        assert arr.shape == (3, 2)
+        assert arr[0, 0] == 35.0
+        assert arr[0, 1] == -95.0
+
+    def test_evaluate_grid_shape(self):
+        grid = GeoGrid(CONTINENTAL_US, 10, 20)
+        field = GaussianKDE(CLUSTER, 50.0).evaluate_grid(grid)
+        assert field.values.shape == (10, 20)
+        peak_location, _ = field.peak()
+        # Peak cell should be near the cluster.
+        assert abs(peak_location.lat - 35.0) < 2.0
+        assert abs(peak_location.lon + 95.0) < 2.0

@@ -1,0 +1,88 @@
+"""Tests for repro.stats.regression."""
+
+import pytest
+
+from repro.stats.regression import (
+    linear_regression,
+    pearson_correlation,
+    r_squared,
+)
+
+
+class TestLinearRegression:
+    def test_perfect_line(self):
+        fit = linear_regression([1.0, 2.0, 3.0], [2.0, 4.0, 6.0])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_intercept(self):
+        fit = linear_regression([0.0, 1.0], [5.0, 7.0])
+        assert fit.intercept == pytest.approx(5.0)
+        assert fit.predict(2.0) == pytest.approx(9.0)
+
+    def test_no_trend_low_r2(self):
+        x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+        y = [1.0, -1.0, 1.0, -1.0, 1.0, -1.0]
+        fit = linear_regression(x, y)
+        assert fit.r_squared < 0.2
+
+    def test_constant_x(self):
+        fit = linear_regression([2.0, 2.0, 2.0], [1.0, 2.0, 3.0])
+        assert fit.slope == 0.0
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            linear_regression([1.0], [1.0, 2.0])
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            linear_regression([1.0], [1.0])
+
+
+class TestRSquared:
+    def test_perfect_prediction(self):
+        assert r_squared([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_mean_prediction_zero(self):
+        obs = [1.0, 2.0, 3.0]
+        assert r_squared(obs, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_clamped_at_zero(self):
+        # Worse than the mean predictor: clamp instead of negative.
+        assert r_squared([1.0, 2.0, 3.0], [30.0, -10.0, 50.0]) == 0.0
+
+    def test_constant_observations(self):
+        assert r_squared([5.0, 5.0], [5.0, 5.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            r_squared([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            r_squared([], [])
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [6, 4, 2]) == pytest.approx(-1.0)
+
+    def test_constant_vector_zero(self):
+        assert pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_relation_to_r_squared(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        y = [1.1, 1.9, 3.2, 3.8]
+        rho = pearson_correlation(x, y)
+        fit = linear_regression(x, y)
+        assert rho**2 == pytest.approx(fit.r_squared, rel=1e-9)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [2.0])

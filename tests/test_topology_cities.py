@@ -1,0 +1,82 @@
+"""Tests for repro.topology.cities."""
+
+import pytest
+
+from repro.geo.coords import CONTINENTAL_US
+from repro.topology.cities import (
+    ALL_CITIES,
+    cities_in_states,
+    city_by_name,
+    top_cities,
+)
+
+
+class TestGazetteer:
+    def test_substantial_corpus(self):
+        assert len(ALL_CITIES) >= 300
+
+    def test_all_inside_continental_us(self):
+        for city in ALL_CITIES:
+            assert CONTINENTAL_US.contains(city.location), city.key
+
+    def test_keys_unique(self):
+        keys = [c.key for c in ALL_CITIES]
+        assert len(keys) == len(set(keys))
+
+    def test_positive_populations(self):
+        assert all(c.population > 0 for c in ALL_CITIES)
+
+    def test_states_known_codes(self):
+        from repro.geo.regions import STATE_BOXES
+
+        for city in ALL_CITIES:
+            assert city.state in STATE_BOXES, city.key
+
+
+class TestLookup:
+    def test_by_name_and_state(self):
+        city = city_by_name("Portland", "OR")
+        assert city.state == "OR"
+
+    def test_ambiguous_requires_state(self):
+        with pytest.raises(KeyError):
+            city_by_name("Portland")
+
+    def test_unambiguous_without_state(self):
+        assert city_by_name("Chicago").state == "IL"
+
+    def test_unknown_city(self):
+        with pytest.raises(KeyError):
+            city_by_name("Atlantis")
+
+    def test_unknown_state_combo(self):
+        with pytest.raises(KeyError):
+            city_by_name("Chicago", "TX")
+
+
+class TestSelections:
+    def test_top_cities_sorted_by_population(self):
+        top = top_cities(10)
+        populations = [c.population for c in top]
+        assert populations == sorted(populations, reverse=True)
+        assert top[0].name == "New York"
+
+    def test_top_cities_negative(self):
+        with pytest.raises(ValueError):
+            top_cities(-1)
+
+    def test_top_cities_zero(self):
+        assert top_cities(0) == []
+
+    def test_cities_in_states(self):
+        texan = cities_in_states(["TX"])
+        assert all(c.state == "TX" for c in texan)
+        assert len(texan) >= 20
+
+    def test_cities_in_states_sorted(self):
+        cities = cities_in_states(["CA", "TX"])
+        populations = [c.population for c in cities]
+        assert populations == sorted(populations, reverse=True)
+
+    def test_cities_in_unknown_state_empty(self):
+        assert cities_in_states(["ZZ"]) == []

@@ -7,15 +7,19 @@ corpus, synthetic census population, FEMA/NOAA disaster catalogs with
 trained kernel density fields, NHC-style hurricane advisories with an
 NLP parser, and the RiskRoute optimization framework itself.
 
-Typical entry points::
+Typical entry point — a :class:`RoutingSession` binds one network to one
+risk model and answers every RiskRoute question through the shared,
+cached routing engine::
 
-    from repro import (
-        network_by_name, RiskModel, RiskRouter, intradomain_ratios,
-    )
-    net = network_by_name("Teliasonera")
-    model = RiskModel.for_network(net)
-    router = RiskRouter(net.distance_graph(), model)
-    route = router.risk_route(*net.pop_ids()[:2])
+    from repro import RoutingSession, network_by_name
+
+    session = RoutingSession(network_by_name("Teliasonera"))
+    pair = session.pair(*session.network.pop_ids()[:2])
+    ratios = session.all_pairs()          # Equations 5-6
+    links = session.provision(k=3)        # Equation 4, greedy
+
+The historical ``RiskRouter`` / ``intradomain_ratios`` API remains as a
+thin wrapper over the same engine.
 """
 
 from .core import (
@@ -25,12 +29,15 @@ from .core import (
     RatioResult,
     RiskRouter,
     RouteResult,
+    SweepStrategy,
     best_new_peering,
     bit_miles,
     bit_risk_miles,
     candidate_links,
     intradomain_ratios,
 )
+from .engine import EngineConfig, RoutingEngine
+from .session import RoutingSession
 from .risk import (
     DEFAULT_GAMMA_F,
     DEFAULT_GAMMA_H,
@@ -72,6 +79,10 @@ __all__ = [
     "RouteResult",
     "PairRoutes",
     "RatioResult",
+    "RoutingSession",
+    "RoutingEngine",
+    "EngineConfig",
+    "SweepStrategy",
     "intradomain_ratios",
     "InterdomainRouter",
     "ProvisioningAnalyzer",

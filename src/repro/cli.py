@@ -7,6 +7,7 @@ Subcommands::
     riskroute run all             # regenerate everything
     riskroute corpus              # summarize the 23-network corpus
     riskroute route Level3 "Houston, TX" "Boston, MA" [--gamma-h 1e5]
+    riskroute ratios Level3 [--strategy per-source] [--workers 4]
 """
 
 from __future__ import annotations
@@ -15,9 +16,9 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.riskroute import RiskRouter
 from .experiments import get_experiment, registered_experiments
 from .risk.model import DEFAULT_GAMMA_F, DEFAULT_GAMMA_H, RiskModel
+from .session import RoutingSession
 from .topology.zoo import all_networks, network_by_name
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +60,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     route_p.add_argument(
         "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
+    )
+
+    ratios_p = sub.add_parser(
+        "ratios", help="all-pairs rr/dr ratios for one network (Eq. 5/6)"
+    )
+    ratios_p.add_argument("network", help="network name, e.g. Level3")
+    ratios_p.add_argument(
+        "--strategy",
+        choices=("exact", "per-source"),
+        default=None,
+        help="sweep strategy (default: auto by network size)",
+    )
+    ratios_p.add_argument(
+        "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
+    )
+    ratios_p.add_argument(
+        "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
+    )
+    ratios_p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fan sweeps across this many processes (default: serial)",
     )
     return parser
 
@@ -127,14 +151,37 @@ def _cmd_route(
         )
         return 2
     model = RiskModel.for_network(network, gamma_h=gamma_h, gamma_f=gamma_f)
-    router = RiskRouter(network.distance_graph(), model)
-    pair = router.route_pair(source, target)
+    pair = RoutingSession(network, model).pair(source, target)
     print(f"shortest  ({pair.shortest.bit_miles:8.1f} mi, "
           f"{pair.shortest.bit_risk_miles:10.1f} brm): "
           + " > ".join(p.split(":", 1)[1] for p in pair.shortest.path))
     print(f"riskroute ({pair.riskroute.bit_miles:8.1f} mi, "
           f"{pair.riskroute.bit_risk_miles:10.1f} brm): "
           + " > ".join(p.split(":", 1)[1] for p in pair.riskroute.path))
+    return 0
+
+
+def _cmd_ratios(
+    network_name: str, strategy: Optional[str],
+    gamma_h: float, gamma_f: float, workers: int,
+) -> int:
+    try:
+        network = network_by_name(network_name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    model = RiskModel.for_network(network, gamma_h=gamma_h, gamma_f=gamma_f)
+    config = None
+    if workers > 1:
+        from .engine import EngineConfig
+
+        config = EngineConfig(workers=workers, executor="process")
+    session = RoutingSession(network, model, config=config)
+    result = session.all_pairs(strategy=strategy)
+    print(f"network     {network.name} ({network.pop_count} PoPs)")
+    print(f"pairs       {result.pair_count}")
+    print(f"rr (Eq. 5)  {result.risk_reduction_ratio:.4f}")
+    print(f"dr (Eq. 6)  {result.distance_increase_ratio:.4f}")
     return 0
 
 
@@ -150,6 +197,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "route":
         return _cmd_route(
             args.network, args.source, args.target, args.gamma_h, args.gamma_f
+        )
+    if args.command == "ratios":
+        return _cmd_ratios(
+            args.network, args.strategy,
+            args.gamma_h, args.gamma_f, args.workers,
         )
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -37,6 +37,7 @@ from .multiobjective import (
 from .ospf import OspfWeightTable, export_ospf_weights, ospf_fidelity
 from .ratios import RatioResult, intradomain_ratios, ratios_over_pairs
 from .riskroute import PairRoutes, RiskRouter, RouteResult
+from .strategy import SweepStrategy, resolve_strategy
 from .sharedrisk import SharedRiskReport, shared_risk_report, storm_shared_fate
 from .simulation import (
     SimulatedDisaster,
@@ -54,6 +55,8 @@ __all__ = [
     "RiskRouter",
     "RouteResult",
     "PairRoutes",
+    "SweepStrategy",
+    "resolve_strategy",
     "RatioResult",
     "intradomain_ratios",
     "ratios_over_pairs",

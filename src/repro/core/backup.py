@@ -93,7 +93,7 @@ def frr_backup_next_hops(
     alternative (the first link is a bridge).
     """
     table: Dict[str, Optional[str]] = {}
-    primaries = router.risk_routes_from(source, exact=False)
+    primaries = router.risk_routes_from(source, strategy="per-source")
     for target, primary in primaries.items():
         first_link = (primary.path[0], primary.path[1])
         backup = mpls_link_failover(router, source, target, first_link)

@@ -15,12 +15,12 @@ The ratio between the two is what Figure 8 plots per regional network.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..graph.core import Graph
 from ..risk.model import RiskModel
 from ..topology.interdomain import InterdomainTopology
-from .ratios import RatioResult, ratios_over_pairs
+from .ratios import RatioResult
 from .riskroute import PairRoutes, RiskRouter
 
 __all__ = ["InterdomainRouter", "BoundsResult", "regional_pair_population"]
@@ -95,7 +95,9 @@ class InterdomainRouter:
 
         Per Section 7's protocol: every PoP of the regional network is a
         source; destinations are the supplied PoP set (the paper uses all
-        PoPs of the 16 regional networks).
+        PoPs of the 16 regional networks).  Runs as one batched engine
+        query over the merged topology, sharing sweeps with every other
+        evaluation of the same merge.
 
         Args:
             regional_name: the source network.
@@ -110,45 +112,25 @@ class InterdomainRouter:
         if regional_name not in self.topology.networks:
             raise KeyError(f"unknown network {regional_name!r}")
         sources = self.topology.networks[regional_name].pop_ids()
-        destinations = set(destination_pops)
-        pairs: List[PairRoutes] = []
-        for source in sources:
-            shortest = self._router.shortest_from(source)
-            if exact:
-                risky = {
-                    t: self._router.risk_route(source, t)
-                    for t in shortest
-                    if t in destinations
-                }
-            else:
-                risky = self._router.approx_risk_routes_from(source)
-            for target, base in shortest.items():
-                if target == source or target not in destinations:
-                    continue
-                if target not in risky:
-                    continue
-                pairs.append(PairRoutes(shortest=base, riskroute=risky[target]))
-        return ratios_over_pairs(pairs)
+        return self._router.engine.ratios(
+            sources=sources, targets=destination_pops, exact=exact
+        )
 
     def aggregate_lower_bound(
         self, regional_name: str, destination_pops: Sequence[str]
     ) -> float:
         """Sum of lower-bound bit-risk miles for a regional's flows.
 
-        This is the objective the Figure 11 peering search minimises.
+        This is the objective the Figure 11 peering search minimises —
+        memoized on the engine per (sources, destinations) population,
+        so re-scoring the same what-if peering is a cache hit.
         """
         if regional_name not in self.topology.networks:
             raise KeyError(f"unknown network {regional_name!r}")
         sources = self.topology.networks[regional_name].pop_ids()
-        destinations = set(destination_pops)
-        total = 0.0
-        for source in sources:
-            for target, route in self._router.approx_risk_routes_from(
-                source
-            ).items():
-                if target in destinations and target != source:
-                    total += route.bit_risk_miles
-        return total
+        return self._router.engine.lower_bound_total(
+            sources, destination_pops
+        )
 
 
 def regional_pair_population(

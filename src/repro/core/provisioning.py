@@ -28,7 +28,6 @@ from ..risk.model import RiskModel
 from ..topology.interdomain import InterdomainTopology
 from ..topology.network import Network
 from .interdomain import InterdomainRouter, regional_pair_population
-from .riskroute import RiskRouter
 
 __all__ = [
     "CandidateLink",
@@ -147,20 +146,35 @@ def candidate_links(
 
 
 class _ComponentMatrices:
-    """All-pairs (mileage, risk-sum, impact) arrays for one topology."""
+    """All-pairs (mileage, risk-sum, impact) arrays for one topology.
 
-    def __init__(self, network: Network, model: RiskModel) -> None:
+    Route components come from the shared routing engine, so the
+    per-source sweeps behind them are memoized: the baseline recompute
+    after a greedy link addition, and any other query against the same
+    topology, reuse them instead of re-running Dijkstra.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        model: RiskModel,
+        config=None,
+    ) -> None:
         import numpy as np
+
+        from ..engine import SweepStrategy, get_engine
 
         pop_ids = network.pop_ids()
         index = {pop_id: i for i, pop_id in enumerate(pop_ids)}
         n = len(pop_ids)
-        router = RiskRouter(network.distance_graph(), model)
+        engine = get_engine(network.distance_graph(), model, config)
+        engine.prefetch_per_source(pop_ids)
         dist = np.zeros((n, n), dtype=np.float64)
         risk = np.zeros((n, n), dtype=np.float64)
         for source in pop_ids:
             i = index[source]
-            for target, route in router.approx_risk_routes_from(source).items():
+            routes = engine.risk_routes_from(source, SweepStrategy.PER_SOURCE)
+            for target, route in routes.items():
                 j = index[target]
                 dist[i, j] = route.metrics.distance_miles
                 risk[i, j] = route.metrics.risk_sum
@@ -209,16 +223,52 @@ class _ComponentMatrices:
 
 
 class ProvisioningAnalyzer:
-    """Evaluates Equation 4 over a network's candidate links."""
+    """Evaluates Equation 4 over a network's candidate links.
 
-    def __init__(self, network: Network, model: RiskModel) -> None:
+    Args:
+        network: the network to augment.
+        model: its risk model.
+        config: optional :class:`~repro.engine.parallel.EngineConfig`;
+            a pool-enabled config parallelises both the component-matrix
+            sweeps and candidate scoring (threads — the scoring inner
+            loop is numpy matrix arithmetic, which releases the GIL).
+    """
+
+    def __init__(
+        self, network: Network, model: RiskModel, config=None
+    ) -> None:
         self.network = network
         self.model = model
+        self.config = config
 
     def aggregate_bit_risk(self, working: Optional[Network] = None) -> float:
         """Total min bit-risk miles over all unordered PoP pairs (the
         objective of Equation 4)."""
-        return _ComponentMatrices(working or self.network, self.model).baseline_total()
+        return _ComponentMatrices(
+            working or self.network, self.model, config=self.config
+        ).baseline_total()
+
+    def _score_candidates(
+        self,
+        matrices: _ComponentMatrices,
+        candidates: Sequence[CandidateLink],
+    ) -> List[float]:
+        if (
+            self.config is not None
+            and self.config.parallel
+            and len(candidates) > 1
+        ):
+            from concurrent.futures import ThreadPoolExecutor
+
+            workers = min(self.config.workers, len(candidates))
+            try:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    return list(
+                        pool.map(matrices.candidate_total, candidates)
+                    )
+            except (OSError, RuntimeError):
+                pass  # pool unavailable: score serially below
+        return [matrices.candidate_total(c) for c in candidates]
 
     def rank_candidates(
         self,
@@ -235,13 +285,15 @@ class ProvisioningAnalyzer:
         """
         if candidates is None:
             candidates = candidate_links(self.network)
-        matrices = _ComponentMatrices(self.network, self.model)
+        candidates = list(candidates)
+        matrices = _ComponentMatrices(
+            self.network, self.model, config=self.config
+        )
         baseline = matrices.baseline_total()
+        totals = self._score_candidates(matrices, candidates)
         scored = [
-            LinkRecommendation(
-                candidate, matrices.candidate_total(candidate), baseline
-            )
-            for candidate in candidates
+            LinkRecommendation(candidate, total, baseline)
+            for candidate, total in zip(candidates, totals)
         ]
         scored.sort(
             key=lambda rec: (
@@ -277,7 +329,7 @@ class ProvisioningAnalyzer:
             candidates = candidate_links(working)
             if not candidates:
                 break
-            analyzer = ProvisioningAnalyzer(working, self.model)
+            analyzer = ProvisioningAnalyzer(working, self.model, self.config)
             best = analyzer.rank_candidates(candidates, top=1)
             if not best:
                 break

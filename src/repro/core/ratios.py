@@ -18,12 +18,13 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from .riskroute import PairRoutes, RiskRouter
+from .strategy import EXACT_PAIR_LIMIT
 
 __all__ = ["RatioResult", "ratios_over_pairs", "intradomain_ratios"]
 
 #: Above this PoP count the all-pairs sweep switches to the per-source
 #: approximation (see :meth:`RiskRouter.approx_risk_routes_from`).
-_EXACT_PAIR_LIMIT = 60
+_EXACT_PAIR_LIMIT = EXACT_PAIR_LIMIT
 
 
 @dataclass(frozen=True)
@@ -72,8 +73,14 @@ def intradomain_ratios(
     sources: Optional[Sequence[str]] = None,
     targets: Optional[Sequence[str]] = None,
     exact: Optional[bool] = None,
+    strategy=None,
 ) -> RatioResult:
     """rr/dr over a (sub)set of a topology's PoP pairs.
+
+    A thin wrapper over the batched engine behind the router: sweeps
+    are memoized and shared with every other query against the same
+    topology, and the finished aggregate itself is cached until the
+    risk field changes.
 
     Args:
         router: the routing engine for the network under study.
@@ -82,6 +89,8 @@ def intradomain_ratios(
         exact: force exact per-pair optimization (True) or the
             per-source approximation (False); ``None`` picks exact for
             topologies up to 60 PoPs.
+        strategy: ``"exact"`` / ``"per-source"`` — the preferred
+            spelling of ``exact``.
 
     Returns:
         The aggregated ratios over every ordered reachable pair with
@@ -90,27 +99,6 @@ def intradomain_ratios(
     Raises:
         ValueError: when no valid pair exists.
     """
-    nodes = list(router.graph.nodes())
-    source_list = list(sources) if sources is not None else nodes
-    target_set = set(targets) if targets is not None else set(nodes)
-    if exact is None:
-        exact = len(nodes) <= _EXACT_PAIR_LIMIT
-
-    risk_ratios: List[float] = []
-    distance_ratios: List[float] = []
-    for source in source_list:
-        shortest = router.shortest_from(source)
-        if exact:
-            risky = {}
-            for target in shortest:
-                if target in target_set:
-                    risky[target] = router.risk_route(source, target)
-        else:
-            risky = router.approx_risk_routes_from(source)
-        for target, base in shortest.items():
-            if target not in target_set or target not in risky:
-                continue
-            pair = PairRoutes(shortest=base, riskroute=risky[target])
-            risk_ratios.append(pair.risk_ratio)
-            distance_ratios.append(pair.distance_ratio)
-    return _aggregate(risk_ratios, distance_ratios)
+    return router.engine.ratios(
+        sources=sources, targets=targets, strategy=strategy, exact=exact
+    )

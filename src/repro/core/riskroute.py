@@ -23,11 +23,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..graph.core import Graph, NodeNotFoundError
-from ..graph.shortest_path import NoPathError, dijkstra, reconstruct_path
 from ..risk.model import RiskModel
-from .bitrisk import PathMetrics, path_metrics
+from .bitrisk import PathMetrics
+from .strategy import SweepStrategy, resolve_strategy
 
-__all__ = ["RouteResult", "PairRoutes", "RiskRouter"]
+__all__ = ["RouteResult", "PairRoutes", "RiskRouter", "SweepStrategy"]
 
 
 @dataclass(frozen=True)
@@ -85,7 +85,16 @@ def _risk_dijkstra(
     source: str,
     target: Optional[str] = None,
 ) -> Tuple[Dict[str, float], Dict[str, str]]:
-    """Dijkstra with per-node entry costs scaled by ``alpha``."""
+    """Dijkstra with per-node entry costs scaled by ``alpha``.
+
+    This is the dict-based reference implementation; production queries
+    go through the CSR-array engine (:mod:`repro.engine`), which must
+    match it byte for byte — the engine test suite enforces that.
+
+    Raises:
+        NodeNotFoundError: for an unknown endpoint, or when the search
+            enters a node the risk mapping does not cover.
+    """
     if source not in graph:
         raise NodeNotFoundError(source)
     if target is not None and target not in graph:
@@ -105,7 +114,14 @@ def _risk_dijkstra(
         for neighbor, weight in graph.neighbors(node).items():
             if neighbor in settled:
                 continue
-            candidate = d + weight + alpha * node_risk[neighbor]
+            try:
+                risk = node_risk[neighbor]
+            except KeyError:
+                raise NodeNotFoundError(
+                    f"no risk defined for PoP {neighbor!r}; the risk model "
+                    "does not cover the topology"
+                ) from None
+            candidate = d + weight + alpha * risk
             if candidate < dist.get(neighbor, float("inf")):
                 dist[neighbor] = candidate
                 parent[neighbor] = node
@@ -115,17 +131,33 @@ def _risk_dijkstra(
 
 
 class RiskRouter:
-    """Routes one distance graph under one risk model."""
+    """Routes one distance graph under one risk model.
+
+    Historically this class ran a cold Dijkstra per query; it is now a
+    thin wrapper over :class:`repro.session.RoutingSession` (and through
+    it the shared, cached :class:`~repro.engine.engine.RoutingEngine`),
+    kept for API compatibility.  New code should construct a
+    ``RoutingSession`` directly.
+    """
 
     def __init__(self, graph: Graph[str], model: RiskModel) -> None:
-        for node in graph.nodes():
-            # Fail fast on a model/topology mismatch.
-            model.node_risk(node)
+        from ..session import RoutingSession
+
         self.graph = graph
         self.model = model
-        self._node_risk = model.node_risks()
-        shares = [model.share(n) for n in graph.nodes()]
-        self._mean_share = sum(shares) / len(shares) if shares else 0.0
+        # Session construction fails fast on a model/topology mismatch,
+        # preserving the historical constructor contract.
+        self._session = RoutingSession(graph, model)
+
+    @property
+    def session(self) -> "RoutingSession":
+        """The facade this router delegates to."""
+        return self._session
+
+    @property
+    def engine(self):
+        """The shared routing engine behind this router."""
+        return self._session.engine
 
     # -- single-pair routing --------------------------------------------------
 
@@ -135,11 +167,7 @@ class RiskRouter:
         Raises:
             NoPathError: when disconnected.
         """
-        dist, parent = dijkstra(self.graph, source, target=target)
-        if target not in dist:
-            raise NoPathError(source, target)
-        path = reconstruct_path(parent, source, target)
-        return RouteResult(source, target, path_metrics(self.graph, path, self.model))
+        return self._session.shortest(source, target)
 
     def risk_route(self, source: str, target: str) -> RouteResult:
         """The exact Equation 3 optimum for one pair.
@@ -147,36 +175,17 @@ class RiskRouter:
         Raises:
             NoPathError: when disconnected.
         """
-        alpha = self.model.impact(source, target)
-        dist, parent = _risk_dijkstra(
-            self.graph, self._node_risk, alpha, source, target=target
-        )
-        if target not in dist:
-            raise NoPathError(source, target)
-        path = reconstruct_path(parent, source, target)
-        return RouteResult(source, target, path_metrics(self.graph, path, self.model))
+        return self._session.route(source, target)
 
     def route_pair(self, source: str, target: str) -> PairRoutes:
         """Both routes for a pair, ready for ratio evaluation."""
-        return PairRoutes(
-            shortest=self.shortest_path(source, target),
-            riskroute=self.risk_route(source, target),
-        )
+        return self._session.pair(source, target)
 
     # -- per-source sweeps ------------------------------------------------------
 
     def shortest_from(self, source: str) -> Dict[str, RouteResult]:
         """Shortest paths from ``source`` to every reachable PoP."""
-        dist, parent = dijkstra(self.graph, source)
-        out: Dict[str, RouteResult] = {}
-        for target in dist:
-            if target == source:
-                continue
-            path = reconstruct_path(parent, source, target)
-            out[target] = RouteResult(
-                source, target, path_metrics(self.graph, path, self.model)
-            )
-        return out
+        return self._session.shortest_from(source)
 
     def approx_risk_routes_from(self, source: str) -> Dict[str, RouteResult]:
         """Near-optimal RiskRoute paths from ``source`` to all targets.
@@ -185,34 +194,26 @@ class RiskRouter:
         each returned route is re-scored exactly under its true pair
         impact, so reported costs are exact for the paths chosen.
         """
-        alpha = self.model.share(source) + self._mean_share
-        dist, parent = _risk_dijkstra(self.graph, self._node_risk, alpha, source)
-        out: Dict[str, RouteResult] = {}
-        for target in dist:
-            if target == source:
-                continue
-            path = reconstruct_path(parent, source, target)
-            out[target] = RouteResult(
-                source, target, path_metrics(self.graph, path, self.model)
-            )
-        return out
+        return self._session.routes_from(source, SweepStrategy.PER_SOURCE)
 
     def risk_routes_from(
-        self, source: str, exact: bool = True
+        self,
+        source: str,
+        strategy=None,
+        *,
+        exact: Optional[bool] = None,
     ) -> Dict[str, RouteResult]:
         """RiskRoute paths from ``source`` to every reachable PoP.
 
-        ``exact=True`` runs one search per target (true Equation 3);
-        ``exact=False`` uses the per-source approximation.
+        Args:
+            source: the source PoP.
+            strategy: ``"exact"`` (default — one search per target, the
+                true Equation 3) or ``"per-source"`` (single-search
+                approximation, re-scored exactly).
+            exact: deprecated boolean spelling of ``strategy``; accepted
+                with a :class:`DeprecationWarning` for one release.
         """
-        if not exact:
-            return self.approx_risk_routes_from(source)
-        out: Dict[str, RouteResult] = {}
-        for target in self.graph.nodes():
-            if target == source:
-                continue
-            try:
-                out[target] = self.risk_route(source, target)
-            except NoPathError:
-                continue
-        return out
+        resolved = resolve_strategy(
+            strategy, exact, default=SweepStrategy.EXACT
+        )
+        return self._session.routes_from(source, resolved)

@@ -1,0 +1,94 @@
+"""Sweep strategy selection for RiskRoute searches.
+
+Two ways to answer "all RiskRoute paths from ``i``":
+
+* ``EXACT`` — one search per pair under the true impact
+  ``alpha_ij = c_i + c_j`` (the literal Equation 3 optimum).
+* ``PER_SOURCE`` — a single search from ``i`` under the expected impact
+  ``alpha_i = c_i + mean(c)``, with every chosen path re-scored exactly
+  under its pair's true ``alpha_ij``.
+
+Historically this was a ``exact: bool`` flag; the enum is the blessed
+spelling and the boolean is accepted through a deprecation shim.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from typing import Optional, Union
+
+__all__ = [
+    "SweepStrategy",
+    "resolve_strategy",
+    "auto_strategy",
+    "EXACT_PAIR_LIMIT",
+]
+
+#: Above this PoP count auto strategy selection switches from ``EXACT``
+#: to ``PER_SOURCE`` (the historical ``intradomain_ratios`` behaviour).
+EXACT_PAIR_LIMIT = 60
+
+
+class SweepStrategy(str, enum.Enum):
+    """How all-targets RiskRoute sweeps pick their search impact."""
+
+    EXACT = "exact"
+    PER_SOURCE = "per-source"
+
+
+StrategyLike = Union[SweepStrategy, str, bool, None]
+
+
+def _warn_exact_flag() -> None:
+    warnings.warn(
+        "the 'exact' boolean flag is deprecated; pass "
+        "strategy='exact' or strategy='per-source' instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def resolve_strategy(
+    strategy: StrategyLike = None,
+    exact: Optional[bool] = None,
+    default: SweepStrategy = SweepStrategy.EXACT,
+) -> SweepStrategy:
+    """Normalise a strategy argument to a :class:`SweepStrategy`.
+
+    Accepts the enum, its string values, ``None`` (→ ``default``), and —
+    for one deprecation cycle — the legacy ``exact`` boolean either as
+    the keyword or passed positionally where ``strategy`` now lives.
+
+    Raises:
+        ValueError: for an unknown strategy name or when both the new
+            and the deprecated spelling are supplied.
+    """
+    if isinstance(strategy, bool):
+        # Old positional call style: risk_routes_from(source, True).
+        if exact is not None:
+            raise ValueError("pass either strategy= or exact=, not both")
+        _warn_exact_flag()
+        return SweepStrategy.EXACT if strategy else SweepStrategy.PER_SOURCE
+    if exact is not None:
+        if strategy is not None:
+            raise ValueError("pass either strategy= or exact=, not both")
+        _warn_exact_flag()
+        return SweepStrategy.EXACT if exact else SweepStrategy.PER_SOURCE
+    if strategy is None:
+        return default
+    if isinstance(strategy, SweepStrategy):
+        return strategy
+    try:
+        return SweepStrategy(strategy)
+    except ValueError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected 'exact' or 'per-source'"
+        ) from None
+
+
+def auto_strategy(node_count: int) -> SweepStrategy:
+    """The historical size-based default: exact for small topologies."""
+    if node_count <= EXACT_PAIR_LIMIT:
+        return SweepStrategy.EXACT
+    return SweepStrategy.PER_SOURCE

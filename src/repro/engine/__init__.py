@@ -1,0 +1,36 @@
+"""The batched routing engine subsystem.
+
+Freezes a topology into flat CSR arrays once, memoizes per-source
+risk-weighted Dijkstra sweeps keyed by (graph fingerprint, alpha
+bucket), fans all-pairs work across a process/thread pool with a serial
+fallback, and invalidates cached sweeps when the risk field changes.
+
+:class:`repro.session.RoutingSession` is the blessed user-facing entry
+point; this package is the machinery underneath it.
+"""
+
+from ..core.strategy import SweepStrategy, resolve_strategy
+from .arrays import CsrGraph
+from .cache import ResultCache, SweepCache, alpha_bucket
+from .engine import RoutingEngine, clear_engine_registry, get_engine
+from .fingerprint import graph_fingerprint, risk_fingerprint
+from .parallel import EngineConfig, sweep_many
+from .sweep import SweepResult, csr_sweep
+
+__all__ = [
+    "RoutingEngine",
+    "EngineConfig",
+    "SweepStrategy",
+    "resolve_strategy",
+    "get_engine",
+    "clear_engine_registry",
+    "graph_fingerprint",
+    "risk_fingerprint",
+    "CsrGraph",
+    "SweepCache",
+    "ResultCache",
+    "alpha_bucket",
+    "SweepResult",
+    "csr_sweep",
+    "sweep_many",
+]

@@ -1,0 +1,161 @@
+"""Sweep and result caches.
+
+Two memoization layers sit behind the engine:
+
+* :class:`SweepCache` — per-source Dijkstra sweeps keyed by
+  ``(alpha bucket, source index)``.  The engine registry already keys
+  engines by graph fingerprint, so within one cache the topology is
+  fixed; the alpha bucket is what lets repeated pair queries, ratio
+  sweeps and provisioning scoring share a search.
+* :class:`ResultCache` — finished aggregates (ratio results,
+  lower-bound totals) keyed by the full query signature, so repeating an
+  identical all-pairs evaluation is a dictionary lookup.
+
+Both layers are risk-scoped: when the risk field changes (a new forecast
+advisory hour, different gammas) the engine calls
+:meth:`SweepCache.invalidate_risk`, which drops every risk-weighted
+sweep but keeps the ``alpha == 0`` geographic sweeps — those depend only
+on the topology and stay valid across advisory updates.  Result caches
+are cleared wholesale on any risk change.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+from .sweep import SweepResult
+
+__all__ = ["SweepCache", "ResultCache", "CacheStats", "alpha_bucket"]
+
+
+def alpha_bucket(alpha: float, resolution: float = 0.0) -> float:
+    """Quantize an impact value for cache keying.
+
+    ``resolution == 0`` keys by the exact float (lossless: every
+    distinct alpha gets its own sweep).  A positive resolution rounds to
+    the nearest multiple, merging near-equal impacts onto one search —
+    the chosen paths then come from a slightly perturbed objective, but
+    the engine always re-scores them under the true pair impact, so
+    reported costs stay exact (the same contract as the per-source
+    approximation).
+    """
+    if resolution <= 0.0:
+        return alpha
+    return round(alpha / resolution) * resolution
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    __slots__ = ("hits", "misses", "evictions", "invalidations")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot (for logging and tests)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+
+class SweepCache:
+    """LRU cache of :class:`SweepResult` keyed by (alpha bucket, source)."""
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: "OrderedDict[Tuple[float, int], SweepResult]" = (
+            OrderedDict()
+        )
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, alpha_key: float, source: int) -> Optional[SweepResult]:
+        """The cached sweep, or None (counts a hit/miss either way)."""
+        entry = self._entries.get((alpha_key, source))
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end((alpha_key, source))
+        self.stats.hits += 1
+        return entry
+
+    def peek(self, alpha_key: float, source: int) -> bool:
+        """True when cached, without touching the stats or LRU order."""
+        return (alpha_key, source) in self._entries
+
+    def put(self, alpha_key: float, source: int, result: SweepResult) -> None:
+        """Insert a sweep, evicting the least-recently-used past the cap."""
+        self._entries[(alpha_key, source)] = result
+        self._entries.move_to_end((alpha_key, source))
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate_risk(self) -> int:
+        """Drop risk-weighted sweeps; keep ``alpha == 0`` geographic ones.
+
+        Returns the number of entries dropped.
+        """
+        keep = {
+            key: value
+            for key, value in self._entries.items()
+            if key[0] == 0.0
+        }
+        dropped = len(self._entries) - len(keep)
+        self._entries = OrderedDict(keep)
+        self.stats.invalidations += dropped
+        return dropped
+
+    def clear(self) -> None:
+        """Drop everything (topology changes mean a new engine anyway)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+
+
+class ResultCache:
+    """LRU cache of finished aggregates keyed by full query signature."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable):
+        """The cached result, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: Hashable, value) -> None:
+        """Insert a result, evicting past the cap."""
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop everything (any risk change invalidates aggregates)."""
+        self.stats.invalidations += len(self._entries)
+        self._entries.clear()

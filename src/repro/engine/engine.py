@@ -1,0 +1,516 @@
+"""The batched, cached RoutingEngine.
+
+One engine owns one topology, frozen into CSR arrays, and serves every
+risk-weighted query against it: single pairs, per-source sweeps,
+all-pairs ratio aggregates and provisioning component sums.  Everything
+reduces to memoized single-source sweeps (see
+:mod:`repro.engine.sweep`), so repeated pair queries, ratio sweeps and
+candidate scoring share work instead of recomputing it.
+
+Caching contract:
+
+* sweeps are keyed by ``(alpha bucket, source)`` — see
+  :mod:`repro.engine.cache`;
+* a model swap with the same risk field (fingerprint match) keeps every
+  cache; a changed field (new forecast advisory, different gammas)
+  drops risk-weighted sweeps and all aggregates but keeps the
+  ``alpha == 0`` geographic sweeps;
+* results are byte-identical to the dict-based reference implementation
+  in :mod:`repro.core.riskroute` — same relaxation order, same
+  tie-breaks, same float-summation order.
+
+Module-level :func:`get_engine` is the shared registry: engines are
+keyed by graph fingerprint, so every ``RiskRouter``, ratio sweep and
+provisioning analysis over the same topology lands on the same warm
+caches.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.bitrisk import PathMetrics
+from ..core.strategy import (
+    SweepStrategy,
+    auto_strategy,
+    resolve_strategy,
+)
+from ..graph.core import Graph, NodeNotFoundError
+from ..graph.shortest_path import NoPathError
+from ..risk.model import RiskModel
+from .arrays import CsrGraph
+from .cache import ResultCache, SweepCache, alpha_bucket
+from .fingerprint import graph_fingerprint, risk_fingerprint
+from .parallel import EngineConfig, sweep_many
+from .sweep import SweepResult, csr_sweep
+
+__all__ = ["RoutingEngine", "get_engine", "clear_engine_registry"]
+
+_INF = float("inf")
+
+
+class RoutingEngine:
+    """Batched risk-weighted routing over one frozen topology.
+
+    Args:
+        graph: the distance-weighted topology (snapshotted into CSR
+            arrays at construction — later graph mutations are not seen;
+            build a new engine, or go through :func:`get_engine`, which
+            fingerprints the live graph).
+        model: the risk model; must cover every graph node (fail fast,
+            matching the historical ``RiskRouter`` contract).
+        config: pool and cache tuning; defaults to serial + exact alpha
+            keying.
+    """
+
+    def __init__(
+        self,
+        graph: Graph[str],
+        model: RiskModel,
+        config: Optional[EngineConfig] = None,
+        _fingerprint: Optional[str] = None,
+    ) -> None:
+        self._config = config or EngineConfig()
+        self._csr = CsrGraph(graph)
+        self.topology_fingerprint = _fingerprint or graph_fingerprint(graph)
+        self._sweeps = SweepCache(self._config.sweep_cache_size)
+        self._results = ResultCache(self._config.result_cache_size)
+        self.risk_fingerprint = ""
+        self._bind_model(model)
+
+    # -- model binding and invalidation -----------------------------------
+
+    def _bind_model(self, model: RiskModel) -> None:
+        node_ids = self._csr.node_ids
+        for node in node_ids:
+            # Fail fast on a model/topology mismatch.
+            model.node_risk(node)
+        self.model = model
+        self._risk = [model.node_risk(node) for node in node_ids]
+        self._entry_risk = self._csr.neighbor_values(self._risk)
+        self._shares = [model.share(node) for node in node_ids]
+        self._mean_share = (
+            sum(self._shares) / len(self._shares) if self._shares else 0.0
+        )
+        self.risk_fingerprint = risk_fingerprint(model, node_ids)
+
+    def update_model(self, model: RiskModel) -> bool:
+        """Swap in a model, invalidating caches only when it matters.
+
+        A model with an unchanged risk field (same per-node entry risk
+        and shares — e.g. a fresh but equivalent ``RiskModel`` object)
+        keeps every cache warm.  A changed field — typically a new
+        forecast advisory hour — drops all risk-weighted sweeps and all
+        cached aggregates, keeping only the geographic ``alpha == 0``
+        sweeps, which risk cannot affect.
+
+        Returns True when caches were invalidated.
+        """
+        if model is self.model:
+            return False
+        new_fingerprint = risk_fingerprint(model, self._csr.node_ids)
+        if new_fingerprint == self.risk_fingerprint:
+            self.model = model
+            return False
+        self._bind_model(model)
+        self._sweeps.invalidate_risk()
+        self._results.clear()
+        return True
+
+    def configure(self, config: EngineConfig) -> None:
+        """Replace pool/bucketing tuning; caches stay valid (keys are
+        self-describing: a cached sweep's alpha always equals its key)."""
+        self._config = config
+
+    @property
+    def config(self) -> EngineConfig:
+        """The active tuning."""
+        return self._config
+
+    @property
+    def node_ids(self) -> List[str]:
+        """Topology node names in CSR row order."""
+        return list(self._csr.node_ids)
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return self._csr.node_count
+
+    def stats(self) -> dict:
+        """Cache counters plus current occupancy (for tests/logging)."""
+        return {
+            "sweeps": self._sweeps.stats.as_dict(),
+            "results": self._results.stats.as_dict(),
+            "cached_sweeps": len(self._sweeps),
+            "cached_results": len(self._results),
+        }
+
+    # -- sweep layer -------------------------------------------------------
+
+    def _idx(self, node: str) -> int:
+        try:
+            return self._csr.index[node]
+        except KeyError:
+            raise NodeNotFoundError(node) from None
+
+    def _arrays(self) -> tuple:
+        return (
+            self._csr.indptr_list,
+            self._csr.indices_list,
+            self._csr.weights_list,
+            self._entry_risk,
+        )
+
+    def _sweep_idx(self, source: int, alpha: float) -> SweepResult:
+        key = alpha_bucket(alpha, self._config.alpha_resolution)
+        cached = self._sweeps.get(key, source)
+        if cached is not None:
+            return cached
+        result = csr_sweep(*self._arrays(), source, key)
+        self._sweeps.put(key, source, result)
+        return result
+
+    def sweep(self, source: str, alpha: float) -> SweepResult:
+        """The (cached) single-source sweep at one impact value."""
+        return self._sweep_idx(self._idx(source), alpha)
+
+    def prefetch(self, tasks: Iterable[Tuple[int, float]]) -> int:
+        """Batch-compute missing sweeps, through the pool when enabled.
+
+        ``tasks`` are ``(source index, alpha)`` pairs; alphas are
+        bucketed before the cache is consulted.  Returns the number of
+        sweeps actually computed.
+        """
+        resolution = self._config.alpha_resolution
+        missing: "OrderedDict[Tuple[float, int], None]" = OrderedDict()
+        for source, alpha in tasks:
+            key = alpha_bucket(alpha, resolution)
+            if not self._sweeps.peek(key, source):
+                missing[(key, source)] = None
+        if not missing:
+            return 0
+        batch = [(source, key) for key, source in missing]
+        for result in sweep_many(self._arrays(), batch, self._config):
+            self._sweeps.put(result.alpha, result.source, result)
+        return len(batch)
+
+    def prefetch_per_source(
+        self, sources: Optional[Sequence[str]] = None
+    ) -> int:
+        """Ensure every source's expected-impact sweep is cached.
+
+        The batched warm-up for per-source all-pairs work (component
+        matrices, lower bounds); fans out across the pool when enabled.
+        """
+        names = sources if sources is not None else self._csr.node_ids
+        tasks = []
+        for name in names:
+            s = self._idx(name)
+            tasks.append((s, self._shares[s] + self._mean_share))
+        return self.prefetch(tasks)
+
+    # -- route assembly ----------------------------------------------------
+
+    def _route(self, sweep: SweepResult, target: int):
+        """Materialise one RouteResult from a settled sweep.
+
+        Walks the parent chain and accumulates mileage and risk in
+        forward path order — the exact float-summation order of
+        :func:`repro.core.bitrisk.path_metrics`.
+        """
+        from ..core.riskroute import RouteResult
+
+        path_idx = sweep.path_to(target)
+        names = self._csr.node_ids
+        distance = 0.0
+        risk = 0.0
+        prev = path_idx[0]
+        for curr in path_idx[1:]:
+            distance += self._csr.edge_weight(prev, curr)
+            risk += self._risk[curr]
+            prev = curr
+        alpha = self._shares[path_idx[0]] + self._shares[path_idx[-1]]
+        path = tuple(names[i] for i in path_idx)
+        metrics = PathMetrics(path, distance, risk, alpha)
+        return RouteResult(path[0], path[-1], metrics)
+
+    # -- single-pair queries -----------------------------------------------
+
+    def shortest_path(self, source: str, target: str):
+        """Pure geographic shortest path (the paper's baseline).
+
+        Raises:
+            NoPathError: when disconnected.
+        """
+        s, t = self._idx(source), self._idx(target)
+        sweep = self._sweep_idx(s, 0.0)
+        if sweep.dist[t] == _INF:
+            raise NoPathError(source, target)
+        return self._route(sweep, t)
+
+    def risk_route(self, source: str, target: str):
+        """The exact Equation 3 optimum for one pair.
+
+        Raises:
+            NoPathError: when disconnected.
+        """
+        s, t = self._idx(source), self._idx(target)
+        alpha = self._shares[s] + self._shares[t]
+        sweep = self._sweep_idx(s, alpha)
+        if sweep.dist[t] == _INF:
+            raise NoPathError(source, target)
+        return self._route(sweep, t)
+
+    def route_pair(self, source: str, target: str):
+        """Both routes for a pair, ready for ratio evaluation."""
+        from ..core.riskroute import PairRoutes
+
+        return PairRoutes(
+            shortest=self.shortest_path(source, target),
+            riskroute=self.risk_route(source, target),
+        )
+
+    # -- per-source sweeps -------------------------------------------------
+
+    def shortest_routes_from(self, source: str) -> Dict[str, object]:
+        """Shortest paths from ``source`` to every reachable node."""
+        s = self._idx(source)
+        sweep = self._sweep_idx(s, 0.0)
+        return self._routes_of(sweep, s)
+
+    def _routes_of(self, sweep: SweepResult, source: int) -> Dict[str, object]:
+        names = self._csr.node_ids
+        out: Dict[str, object] = {}
+        for t in sweep.order:
+            if t == source:
+                continue
+            out[names[t]] = self._route(sweep, t)
+        return out
+
+    def risk_routes_from(
+        self, source: str, strategy: SweepStrategy = SweepStrategy.EXACT
+    ) -> Dict[str, object]:
+        """RiskRoute paths from ``source`` to every reachable node.
+
+        ``EXACT`` runs one (cached) search per target under the true
+        pair impact, iterating targets in graph order; ``PER_SOURCE``
+        runs a single search under the expected impact, with each path
+        re-scored exactly.
+        """
+        s = self._idx(source)
+        if strategy is SweepStrategy.PER_SOURCE:
+            alpha = self._shares[s] + self._mean_share
+            return self._routes_of(self._sweep_idx(s, alpha), s)
+        names = self._csr.node_ids
+        out: Dict[str, object] = {}
+        for t in range(self._csr.node_count):
+            if t == s:
+                continue
+            sweep = self._sweep_idx(s, self._shares[s] + self._shares[t])
+            if sweep.dist[t] == _INF:
+                continue
+            out[names[t]] = self._route(sweep, t)
+        return out
+
+    # -- batched aggregates ------------------------------------------------
+
+    def _resolve_population(
+        self,
+        sources: Optional[Sequence[str]],
+        targets: Optional[Sequence[str]],
+    ) -> Tuple[List[str], Set[str]]:
+        nodes = self._csr.node_ids
+        source_list = list(sources) if sources is not None else list(nodes)
+        target_set = set(targets) if targets is not None else set(nodes)
+        return source_list, target_set
+
+    def _prefetch_population(
+        self,
+        source_list: Sequence[str],
+        target_set: Set[str],
+        strategy: SweepStrategy,
+        include_shortest: bool = True,
+    ) -> None:
+        tasks: List[Tuple[int, float]] = []
+        for source in source_list:
+            s = self._idx(source)
+            if include_shortest:
+                tasks.append((s, 0.0))
+            if strategy is SweepStrategy.PER_SOURCE:
+                tasks.append((s, self._shares[s] + self._mean_share))
+            else:
+                for name in target_set:
+                    t = self._idx(name)
+                    if t != s:
+                        tasks.append((s, self._shares[s] + self._shares[t]))
+        self.prefetch(tasks)
+
+    def ratios(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        targets: Optional[Sequence[str]] = None,
+        strategy=None,
+        exact: Optional[bool] = None,
+    ):
+        """rr/dr over a (sub)set of the topology's ordered pairs.
+
+        The batched equivalent of the historical per-router loop in
+        ``repro.core.ratios.intradomain_ratios`` — identical values,
+        shared sweeps, memoized aggregate.  ``strategy=None`` picks
+        ``EXACT`` for topologies up to 60 nodes, matching the historical
+        auto rule.
+
+        Raises:
+            ValueError: when no valid pair exists.
+        """
+        # `exact` here is the documented intradomain_ratios parameter,
+        # not the deprecated risk_routes_from flag — no warning.
+        if exact is not None:
+            if strategy is not None:
+                raise ValueError("pass either strategy= or exact=, not both")
+            strategy = (
+                SweepStrategy.EXACT if exact else SweepStrategy.PER_SOURCE
+            )
+        strategy = resolve_strategy(
+            strategy, None, default=auto_strategy(self._csr.node_count)
+        )
+        source_list, target_set = self._resolve_population(sources, targets)
+        key = (
+            "ratios",
+            tuple(source_list),
+            tuple(sorted(target_set)),
+            strategy.value,
+            self._config.alpha_resolution,
+        )
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        from ..core.ratios import ratios_over_pairs
+        from ..core.riskroute import PairRoutes
+
+        self._prefetch_population(source_list, target_set, strategy)
+        names = self._csr.node_ids
+        pairs: List[PairRoutes] = []
+        for source in source_list:
+            s = self._idx(source)
+            base_sweep = self._sweep_idx(s, 0.0)
+            per_source_sweep = None
+            if strategy is SweepStrategy.PER_SOURCE:
+                per_source_sweep = self._sweep_idx(
+                    s, self._shares[s] + self._mean_share
+                )
+            for t in base_sweep.order:
+                if t == s or names[t] not in target_set:
+                    continue
+                if per_source_sweep is None:
+                    risk_sweep = self._sweep_idx(
+                        s, self._shares[s] + self._shares[t]
+                    )
+                else:
+                    risk_sweep = per_source_sweep
+                if risk_sweep.dist[t] == _INF:
+                    continue
+                pairs.append(
+                    PairRoutes(
+                        shortest=self._route(base_sweep, t),
+                        riskroute=self._route(risk_sweep, t),
+                    )
+                )
+        result = ratios_over_pairs(pairs)
+        self._results.put(key, result)
+        return result
+
+    def lower_bound_total(
+        self,
+        sources: Sequence[str],
+        targets: Sequence[str],
+        strategy: SweepStrategy = SweepStrategy.PER_SOURCE,
+    ) -> float:
+        """Sum of RiskRoute bit-risk miles over ``sources x targets``.
+
+        The aggregate behind the Figure 11 peering search; memoized per
+        population signature.
+        """
+        source_list, target_set = self._resolve_population(sources, targets)
+        key = (
+            "lower-bound",
+            tuple(source_list),
+            tuple(sorted(target_set)),
+            strategy.value,
+            self._config.alpha_resolution,
+        )
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        self._prefetch_population(
+            source_list, target_set, strategy, include_shortest=False
+        )
+        names = self._csr.node_ids
+        total = 0.0
+        for source in source_list:
+            s = self._idx(source)
+            if strategy is SweepStrategy.PER_SOURCE:
+                sweep = self._sweep_idx(s, self._shares[s] + self._mean_share)
+                for t in sweep.order:
+                    if t == s or names[t] not in target_set:
+                        continue
+                    total += self._route(sweep, t).bit_risk_miles
+            else:
+                for t in range(self._csr.node_count):
+                    if t == s or names[t] not in target_set:
+                        continue
+                    sweep = self._sweep_idx(
+                        s, self._shares[s] + self._shares[t]
+                    )
+                    if sweep.dist[t] == _INF:
+                        continue
+                    total += self._route(sweep, t).bit_risk_miles
+        self._results.put(key, total)
+        return total
+
+
+# -- shared engine registry -------------------------------------------------
+
+#: Engines keyed by topology fingerprint, LRU-bounded.  Keeping the
+#: registry small bounds memory while letting the common pattern — many
+#: routers/analyzers over the same handful of corpus networks — share
+#: warm caches.
+_REGISTRY_MAX = 16
+_REGISTRY: "OrderedDict[str, RoutingEngine]" = OrderedDict()
+
+
+def get_engine(
+    graph: Graph[str],
+    model: RiskModel,
+    config: Optional[EngineConfig] = None,
+) -> RoutingEngine:
+    """The shared engine for ``graph``, bound to ``model``.
+
+    The live graph is fingerprinted on every call, so a mutated graph
+    maps to a fresh engine rather than stale caches.  When the
+    fingerprint matches an existing engine, its model is swapped via
+    :meth:`RoutingEngine.update_model` — invalidating sweeps only when
+    the risk field actually changed.
+    """
+    fingerprint = graph_fingerprint(graph)
+    engine = _REGISTRY.get(fingerprint)
+    if engine is None:
+        engine = RoutingEngine(
+            graph, model, config=config, _fingerprint=fingerprint
+        )
+        _REGISTRY[fingerprint] = engine
+        while len(_REGISTRY) > _REGISTRY_MAX:
+            _REGISTRY.popitem(last=False)
+    else:
+        _REGISTRY.move_to_end(fingerprint)
+        engine.update_model(model)
+        if config is not None:
+            engine.configure(config)
+    return engine
+
+
+def clear_engine_registry() -> None:
+    """Drop every shared engine (tests and long-lived processes)."""
+    _REGISTRY.clear()

@@ -1,0 +1,63 @@
+"""Stable fingerprints for cache keying.
+
+The :class:`~repro.engine.engine.RoutingEngine` memoizes per-source
+Dijkstra sweeps.  A sweep's result is fully determined by
+
+* the **topology** — node set, adjacency, and edge weights — and
+* the **risk field** — the gamma-scaled per-node risk charged on entry,
+
+so those two are hashed separately: the topology fingerprint keys the
+engine registry (one engine per distinct graph), while the risk
+fingerprint decides whether cached risk-weighted sweeps survive a model
+swap (a new forecast advisory changes the risk field; shortest-path
+sweeps at ``alpha == 0`` never depend on it and are always kept).
+
+Floats are hashed via ``float.hex`` — exact, platform-stable, and with
+no false merges from decimal rounding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+from ..graph.core import Graph
+from ..risk.model import RiskModel
+
+__all__ = ["graph_fingerprint", "risk_fingerprint"]
+
+
+def _digest(parts: Iterable[str]) -> str:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def graph_fingerprint(graph: Graph[str]) -> str:
+    """Hash of the node list plus every edge and its weight."""
+
+    def parts():
+        for node in graph.nodes():
+            yield f"n:{node}"
+        for u, v, w in graph.edges():
+            a, b = (u, v) if u <= v else (v, u)
+            yield f"e:{a}|{b}|{float(w).hex()}"
+
+    return _digest(parts())
+
+
+def risk_fingerprint(model: RiskModel, node_ids: Sequence[str]) -> str:
+    """Hash of the effective risk state over ``node_ids``.
+
+    Covers the gamma-scaled entry risk (``node_risk`` folds in
+    ``gamma_h``/``gamma_f`` and the forecast field, so any advisory
+    update or gamma change shows up) and the population share (which
+    drives every pair impact ``alpha_ij``).
+    """
+    return _digest(
+        f"r:{node}|{float(model.node_risk(node)).hex()}"
+        f"|{float(model.share(node)).hex()}"
+        for node in node_ids
+    )

@@ -1,0 +1,128 @@
+"""Sweep fan-out across a process or thread pool.
+
+All-pairs evaluations decompose into independent single-source sweeps,
+so the engine batches the sweeps a query needs and maps them across a
+``concurrent.futures`` pool.  Results come back in task order, which
+keeps every downstream aggregation deterministic regardless of worker
+scheduling.
+
+Executor choice:
+
+* ``"serial"`` (default) — no pool; the pure-Python kernel on one core.
+* ``"process"`` — true parallelism.  The CSR arrays are shipped once per
+  worker through the pool initializer, so each task pickles only its
+  ``(source, alpha)`` tuple; sweeps come back as plain-list
+  :class:`~repro.engine.sweep.SweepResult` objects.
+* ``"thread"`` — useful when a free-threaded/GIL-releasing runtime is
+  available, and for exercising the fan-out machinery cheaply in tests.
+
+Any pool failure (spawn limits, pickling, sandboxed environments)
+degrades to the serial path rather than failing the query.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .sweep import SweepResult, csr_sweep
+
+__all__ = ["EngineConfig", "sweep_many"]
+
+#: Arrays handed to worker processes once, via the pool initializer.
+_WORKER_ARRAYS: dict = {}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tuning knobs for one :class:`~repro.engine.engine.RoutingEngine`.
+
+    Args:
+        workers: pool size; 0 or 1 means serial (the safe default —
+            sweep caching, not parallelism, is the first-order win).
+        executor: ``"serial"``, ``"thread"`` or ``"process"``.
+        alpha_resolution: sweep-cache alpha bucket width (0 = exact
+            keying; see :func:`repro.engine.cache.alpha_bucket`).
+        sweep_cache_size: max memoized sweeps per engine.
+        result_cache_size: max memoized aggregates per engine.
+    """
+
+    workers: int = 0
+    executor: str = "serial"
+    alpha_resolution: float = 0.0
+    sweep_cache_size: int = 65536
+    result_cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.executor not in ("serial", "thread", "process"):
+            raise ValueError(
+                f"unknown executor {self.executor!r}; expected 'serial', "
+                "'thread' or 'process'"
+            )
+        if self.alpha_resolution < 0:
+            raise ValueError("alpha_resolution must be >= 0")
+
+    @property
+    def parallel(self) -> bool:
+        """True when this config asks for a pool at all."""
+        return self.workers > 1 and self.executor != "serial"
+
+
+def _init_worker(indptr, indices, weights, entry_risk) -> None:
+    _WORKER_ARRAYS["csr"] = (indptr, indices, weights, entry_risk)
+
+
+def _process_task(task: Tuple[int, float]) -> SweepResult:
+    source, alpha = task
+    indptr, indices, weights, entry_risk = _WORKER_ARRAYS["csr"]
+    return csr_sweep(indptr, indices, weights, entry_risk, source, alpha)
+
+
+def _serial(arrays, tasks) -> List[SweepResult]:
+    indptr, indices, weights, entry_risk = arrays
+    return [
+        csr_sweep(indptr, indices, weights, entry_risk, source, alpha)
+        for source, alpha in tasks
+    ]
+
+
+def sweep_many(
+    arrays: Tuple[Sequence[int], Sequence[int], Sequence[float], Sequence[float]],
+    tasks: Sequence[Tuple[int, float]],
+    config: EngineConfig,
+) -> List[SweepResult]:
+    """Run every ``(source, alpha)`` sweep, in task order.
+
+    Falls back to the serial path when the pool is not worth it (one
+    task, serial config) or cannot be stood up in this environment.
+    """
+    if not tasks:
+        return []
+    if not config.parallel or len(tasks) == 1:
+        return _serial(arrays, tasks)
+    workers = min(config.workers, len(tasks))
+    try:
+        if config.executor == "process":
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=arrays,
+            ) as pool:
+                return list(pool.map(_process_task, tasks, chunksize=4))
+        indptr, indices, weights, entry_risk = arrays
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(
+                    lambda task: csr_sweep(
+                        indptr, indices, weights, entry_risk, *task
+                    ),
+                    tasks,
+                )
+            )
+    except (OSError, ValueError, RuntimeError):
+        # Pools can be unavailable (sandboxes, exhausted fds, shutdown
+        # interpreters); the serial path always works.
+        return _serial(arrays, tasks)

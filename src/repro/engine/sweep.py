@@ -1,0 +1,106 @@
+"""The array-based risk-weighted Dijkstra kernel.
+
+This is the engine's hot loop: the same search as
+:func:`repro.core.riskroute._risk_dijkstra` (relaxing ``(u, v)`` costs
+``d_uv + alpha * risk(v)``) but over flat CSR arrays with integer nodes.
+Given identical relaxation order and the same insertion-counter
+tie-break, it settles nodes, assigns parents, and *first-touches* nodes
+in exactly the same order as the dict-based reference — which is what
+lets engine results be byte-identical to the historical per-pair path.
+
+``alpha == 0`` degenerates to the plain geographic Dijkstra, so shortest
+-path sweeps share this kernel (and its cache) too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from heapq import heappop, heappush
+from typing import List, Optional, Sequence
+
+__all__ = ["SweepResult", "csr_sweep"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One settled single-source search over the CSR arrays.
+
+    ``order`` lists nodes in first-touch order (source first) — the
+    array analogue of dict insertion order in the reference
+    implementation, which downstream aggregation iterates to reproduce
+    historical float-summation order exactly.
+    """
+
+    source: int
+    alpha: float
+    dist: List[float]
+    parent: List[int]
+    order: List[int]
+
+    def path_to(self, target: int) -> List[int]:
+        """Node index path source → target (parent-chain walk).
+
+        Raises:
+            ValueError: if ``target`` was not reached.
+        """
+        if self.dist[target] == _INF:
+            raise ValueError(f"node {target} unreachable in sweep")
+        path = [target]
+        node = target
+        while node != self.source:
+            node = self.parent[node]
+            path.append(node)
+        path.reverse()
+        return path
+
+
+def csr_sweep(
+    indptr: Sequence[int],
+    indices: Sequence[int],
+    weights: Sequence[float],
+    entry_risk: Sequence[float],
+    source: int,
+    alpha: float,
+    target: Optional[int] = None,
+) -> SweepResult:
+    """Risk-weighted Dijkstra over CSR arrays.
+
+    Args:
+        indptr / indices / weights: the CSR adjacency.
+        entry_risk: per-CSR-entry risk of the *entered* node, i.e.
+            ``node_risk[indices[k]]`` pre-gathered flat.
+        source: start node index.
+        alpha: impact scaling (0 → pure geographic shortest path).
+        target: optional early-exit node; the full sweep (no target) is
+            what the cache stores, since it serves every later query.
+    """
+    n = len(indptr) - 1
+    dist = [_INF] * n
+    parent = [-1] * n
+    order = [source]
+    settled = bytearray(n)
+    dist[source] = 0.0
+    counter = 0
+    heap = [(0.0, 0, source)]
+    while heap:
+        d, _, node = heappop(heap)
+        if settled[node]:
+            continue
+        settled[node] = 1
+        if node == target:
+            break
+        for k in range(indptr[node], indptr[node + 1]):
+            nbr = indices[k]
+            if settled[nbr]:
+                continue
+            candidate = d + weights[k] + alpha * entry_risk[k]
+            if candidate < dist[nbr]:
+                if dist[nbr] == _INF:
+                    order.append(nbr)
+                dist[nbr] = candidate
+                parent[nbr] = node
+                counter += 1
+                heappush(heap, (candidate, counter, nbr))
+    return SweepResult(source, alpha, dist, parent, order)

@@ -10,13 +10,12 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..core.ratios import intradomain_ratios
-from ..core.riskroute import RiskRouter
 from ..forecast.advisory import Advisory, advisory_text
 from ..forecast.risk import snapshot_from_text
 from ..forecast.storms import case_study_storms, storm_advisories
 from ..risk.forecasted import ForecastedRiskModel
 from ..risk.model import RiskModel
+from ..session import RoutingSession
 from ..topology.zoo import tier1_networks
 from .base import ExperimentResult, register
 
@@ -49,13 +48,16 @@ def run(
     """
     storm_names = list(storms) if storms else list(case_study_storms())
     wanted = set(networks) if networks else None
-    base_models = {}
-    graphs = {}
+    # One long-lived session per network: each advisory tick swaps only
+    # the forecast component, so the engine keeps its geographic sweeps
+    # and drops just the risk-weighted ones.
+    sessions = {}
     for network in tier1_networks():
         if wanted is not None and network.name not in wanted:
             continue
-        base_models[network.name] = (network, RiskModel.for_network(network))
-        graphs[network.name] = network.distance_graph()
+        sessions[network.name] = RoutingSession(
+            network, RiskModel.for_network(network)
+        )
 
     rows = []
     for storm in storm_names:
@@ -67,13 +69,12 @@ def run(
                 "advisory": advisory.number,
                 "time": advisory.time.isoformat(),
             }
-            for name, (network, model) in base_models.items():
+            for name, session in sessions.items():
+                network = session.network
                 of_map = forecast.pop_risks(network)
-                tick_model = model.with_forecast_risk(of_map)
+                session.update_forecast(of_map)
                 exact = None if network.pop_count <= 60 else False
-                result = intradomain_ratios(
-                    RiskRouter(graphs[name], tick_model), exact=exact
-                )
+                result = session.all_pairs(exact=exact)
                 row[f"rr_{name}"] = result.risk_reduction_ratio
                 row[f"in_scope_{name}"] = sum(
                     1 for v in of_map.values() if v > 0

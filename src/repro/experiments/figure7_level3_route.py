@@ -8,8 +8,8 @@ path to skirt the high-risk south-east.
 from __future__ import annotations
 
 from ..risk.model import RiskModel
+from ..session import RoutingSession
 from ..topology.zoo import network_by_name
-from ..core.riskroute import RiskRouter
 from .base import ExperimentResult, register
 
 SOURCE = "Level3:Houston, TX"
@@ -21,12 +21,10 @@ GAMMAS = (1e4, 1e5)
 def run() -> ExperimentResult:
     """Regenerate the Figure 7 route comparison."""
     network = network_by_name("Level3")
-    graph = network.distance_graph()
-    base_model = RiskModel.for_network(network)
+    session = RoutingSession(network, RiskModel.for_network(network))
     rows = []
     for gamma_h in GAMMAS:
-        router = RiskRouter(graph, base_model.with_gammas(gamma_h, 0.0))
-        pair = router.route_pair(SOURCE, TARGET)
+        pair = session.with_gammas(gamma_h, 0.0).pair(SOURCE, TARGET)
         shared = set(pair.shortest.path) & set(pair.riskroute.path)
         rows.append(
             {

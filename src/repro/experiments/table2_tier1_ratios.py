@@ -5,9 +5,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..core.ratios import intradomain_ratios
-from ..core.riskroute import RiskRouter
 from ..risk.model import RiskModel
+from ..session import RoutingSession
 from ..topology.zoo import tier1_networks
 from .base import ExperimentResult, register
 
@@ -30,14 +29,13 @@ def run() -> ExperimentResult:
     """Regenerate Table 2 over the tier-1 corpus."""
     rows = []
     for network in tier1_networks():
-        graph = network.distance_graph()
-        model = RiskModel.for_network(network)
+        session = RoutingSession(network, RiskModel.for_network(network))
         exact = None if network.pop_count <= 60 else False
         measured = {}
         for gamma_h in GAMMAS:
-            router = RiskRouter(graph, model.with_gammas(gamma_h, 1e3))
-            result = intradomain_ratios(router, exact=exact)
-            measured[gamma_h] = result
+            measured[gamma_h] = session.with_gammas(gamma_h, 1e3).all_pairs(
+                exact=exact
+            )
         paper = PAPER_TABLE2[network.name]
         rows.append(
             {

@@ -22,9 +22,8 @@ from ..core.characteristics import (
     characteristic_r_squared,
     characteristics_of,
 )
-from ..core.ratios import intradomain_ratios
-from ..core.riskroute import RiskRouter
 from ..risk.model import RiskModel
+from ..session import RoutingSession
 from ..topology.peering import corpus_peering
 from ..topology.zoo import regional_networks
 from .base import ExperimentResult, register
@@ -48,9 +47,7 @@ def regional_intradomain_ratios(
     for network in regional_networks():
         model = RiskModel.for_network(network, gamma_h=gamma_h)
         exact = None if network.pop_count <= 60 else False
-        result = intradomain_ratios(
-            RiskRouter(network.distance_graph(), model), exact=exact
-        )
+        result = RoutingSession(network, model).all_pairs(exact=exact)
         out[network.name] = (
             result.risk_reduction_ratio,
             result.distance_increase_ratio,

@@ -1,0 +1,228 @@
+"""The blessed entry point: :class:`RoutingSession`.
+
+A session binds one topology to one risk model and answers every
+RiskRoute question about the pair through the shared, cached
+:class:`~repro.engine.engine.RoutingEngine`::
+
+    from repro import RiskModel, RoutingSession, network_by_name
+
+    session = RoutingSession(network_by_name("Teliasonera"))
+    pair = session.pair("Teliasonera:Miami, FL", "Teliasonera:Seattle, WA")
+    ratios = session.all_pairs()                 # Equations 5-6
+    links = session.provision(k=3)               # Equation 4, greedy
+
+Sessions accept either a :class:`~repro.topology.network.Network` (the
+usual case; the model defaults to ``RiskModel.for_network``) or a bare
+distance :class:`~repro.graph.core.Graph` plus an explicit model
+(provisioning needs PoP coordinates, so it requires network mode).
+
+The engine behind a session is fetched from the shared registry on each
+query by graph fingerprint: two sessions (or the legacy ``RiskRouter``
+wrappers) over the same topology share warm sweep caches, and swapping
+the model — :meth:`update_model` / :meth:`update_forecast`, the
+advisory-by-advisory loop — invalidates exactly the sweeps the new risk
+field touches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .core.riskroute import PairRoutes, RouteResult
+from .core.strategy import SweepStrategy, resolve_strategy
+from .engine import EngineConfig, RoutingEngine, get_engine
+from .graph.core import Graph
+from .risk.model import RiskModel
+
+__all__ = ["RoutingSession"]
+
+
+class RoutingSession:
+    """One topology + one risk model, fronted by the cached engine.
+
+    Args:
+        network: a :class:`Network` (anything with ``distance_graph()``)
+            or a distance :class:`Graph`.
+        model: the risk model; defaults to ``RiskModel.for_network`` in
+            network mode, required in graph mode.
+        config: engine tuning (pool, alpha bucketing, cache sizes).
+
+    Raises:
+        ValueError: graph mode without an explicit model.
+        KeyError: when the model does not cover every node (fail fast).
+    """
+
+    def __init__(
+        self,
+        network,
+        model: Optional[RiskModel] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        if hasattr(network, "distance_graph"):
+            self.network = network
+            self._graph: Graph[str] = network.distance_graph()
+        elif isinstance(network, Graph):
+            self.network = None
+            self._graph = network
+        else:
+            raise TypeError(
+                "network must be a Network (distance_graph()) or a Graph, "
+                f"got {type(network).__name__}"
+            )
+        if model is None:
+            if self.network is None:
+                raise ValueError("a bare Graph session needs an explicit model")
+            model = RiskModel.for_network(self.network)
+        self.model = model
+        self._config = config
+        # Touch the engine once so a model/topology mismatch fails here,
+        # not on the first query.
+        self.engine
+
+    # -- engine plumbing ---------------------------------------------------
+
+    @property
+    def graph(self) -> Graph[str]:
+        """The distance graph under study."""
+        return self._graph
+
+    @property
+    def engine(self) -> RoutingEngine:
+        """The shared engine for the current (graph, model) binding."""
+        return get_engine(self._graph, self.model, self._config)
+
+    def configure(self, config: EngineConfig) -> "RoutingSession":
+        """Apply new engine tuning; returns self for chaining."""
+        self._config = config
+        self.engine.configure(config)
+        return self
+
+    # -- model lifecycle ---------------------------------------------------
+
+    def update_model(self, model: RiskModel) -> bool:
+        """Swap the session's risk model.
+
+        Returns True when the risk field actually changed (and the
+        engine dropped its risk-weighted sweeps).
+        """
+        # Fetch the engine while still bound to the old model so the
+        # swap happens exactly once and its outcome is reported.
+        engine = self.engine
+        self.model = model
+        return engine.update_model(model)
+
+    def update_forecast(self, forecast_risk) -> bool:
+        """Advance to a new forecast snapshot (e.g. the next advisory
+        hour), keeping shares, history and gammas.
+
+        Returns True when cached sweeps were invalidated.
+        """
+        return self.update_model(self.model.with_forecast_risk(forecast_risk))
+
+    def with_gammas(self, gamma_h: float, gamma_f: float) -> "RoutingSession":
+        """A sibling session over the same topology, different gammas."""
+        session = RoutingSession.__new__(RoutingSession)
+        session.network = self.network
+        session._graph = self._graph
+        session.model = self.model.with_gammas(gamma_h, gamma_f)
+        session._config = self._config
+        return session
+
+    # -- single-pair queries -----------------------------------------------
+
+    def shortest(self, source: str, target: str) -> RouteResult:
+        """Pure geographic shortest path (the paper's baseline)."""
+        return self.engine.shortest_path(source, target)
+
+    def route(
+        self,
+        source: str,
+        target: str,
+        strategy: SweepStrategy = SweepStrategy.EXACT,
+    ) -> RouteResult:
+        """The RiskRoute path for one pair.
+
+        ``EXACT`` is the true Equation 3 optimum; ``PER_SOURCE`` reuses
+        the source's expected-impact sweep (cheaper across many targets,
+        paths re-scored exactly).
+        """
+        strategy = resolve_strategy(strategy)
+        if strategy is SweepStrategy.PER_SOURCE:
+            routes = self.engine.risk_routes_from(source, strategy)
+            if target not in routes:
+                from .graph.shortest_path import NoPathError
+
+                raise NoPathError(source, target)
+            return routes[target]
+        return self.engine.risk_route(source, target)
+
+    def pair(self, source: str, target: str) -> PairRoutes:
+        """Baseline and RiskRoute for one pair, ready for Eq. 5/6."""
+        return self.engine.route_pair(source, target)
+
+    # -- sweeps and aggregates ---------------------------------------------
+
+    def routes_from(
+        self,
+        source: str,
+        strategy: SweepStrategy = SweepStrategy.EXACT,
+    ) -> Dict[str, RouteResult]:
+        """RiskRoute paths from ``source`` to every reachable PoP."""
+        return self.engine.risk_routes_from(source, resolve_strategy(strategy))
+
+    def shortest_from(self, source: str) -> Dict[str, RouteResult]:
+        """Shortest paths from ``source`` to every reachable PoP."""
+        return self.engine.shortest_routes_from(source)
+
+    def all_pairs(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        targets: Optional[Sequence[str]] = None,
+        strategy=None,
+        exact: Optional[bool] = None,
+    ):
+        """rr/dr ratios over the (sub)population of ordered pairs.
+
+        ``strategy=None`` auto-selects: exact per-pair optimization up
+        to 60 PoPs, the per-source approximation above (the historical
+        rule).  Results are memoized on the engine until the risk field
+        changes.
+        """
+        return self.engine.ratios(
+            sources=sources, targets=targets, strategy=strategy, exact=exact
+        )
+
+    # -- provisioning ------------------------------------------------------
+
+    def provision(
+        self,
+        k: int = 1,
+        candidates: Optional[Sequence] = None,
+        top: Optional[int] = None,
+    ) -> List:
+        """Equation 4 link recommendations for the session's network.
+
+        ``k == 1`` ranks the candidate set and returns the ``top``
+        recommendations (all by default); ``k > 1`` runs the greedy
+        k-link extension (Figure 10) and returns one recommendation per
+        added link.
+
+        Raises:
+            ValueError: in graph mode (candidate generation needs PoP
+                coordinates) or for ``k < 1``.
+        """
+        if self.network is None:
+            raise ValueError(
+                "provisioning needs a Network session (PoP coordinates)"
+            )
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        from .core.provisioning import ProvisioningAnalyzer
+
+        analyzer = ProvisioningAnalyzer(
+            self.network, self.model, config=self._config
+        )
+        if k == 1:
+            return analyzer.rank_candidates(candidates=candidates, top=top)
+        return analyzer.greedy_links(k)

@@ -1,8 +1,12 @@
 """Tests for repro.core.riskroute — Equation 3."""
 
+import warnings
+
 import pytest
 
-from repro.core.riskroute import RiskRouter
+from repro.core.riskroute import RiskRouter, _risk_dijkstra
+from repro.core.strategy import SweepStrategy
+from repro.graph.core import NodeNotFoundError
 from repro.graph.shortest_path import NoPathError
 from tests.conftest import build_diamond_model, build_diamond_network
 
@@ -100,6 +104,62 @@ class TestSweeps:
             assert approx[target].bit_risk_miles <= exact[
                 target
             ].bit_risk_miles * 1.10
+
+
+class TestRiskDijkstraCoverage:
+    def test_missing_risk_raises_node_not_found(self, diamond_network):
+        """A risk mapping that misses a reachable node must fail with a
+        clear NodeNotFoundError, not a bare KeyError."""
+        graph = diamond_network.distance_graph()
+        node_risk = {n: 1e-3 for n in graph.nodes()}
+        del node_risk["diamond:south"]
+        with pytest.raises(NodeNotFoundError, match="diamond:south"):
+            _risk_dijkstra(graph, node_risk, 0.5, "diamond:west")
+
+    def test_full_coverage_still_works(self, diamond_network):
+        graph = diamond_network.distance_graph()
+        node_risk = {n: 1e-3 for n in graph.nodes()}
+        dist, parent = _risk_dijkstra(graph, node_risk, 0.5, "diamond:west")
+        assert set(dist) == set(graph.nodes())
+
+
+class TestStrategyShim:
+    """risk_routes_from: strategy= is the API, exact= the deprecated shim."""
+
+    def test_exact_kwarg_warns(self, router):
+        with pytest.warns(DeprecationWarning, match="strategy"):
+            router.risk_routes_from("diamond:west", exact=True)
+
+    def test_positional_bool_warns(self, router):
+        with pytest.warns(DeprecationWarning):
+            routes = router.risk_routes_from("diamond:west", False)
+        assert set(routes) == {
+            "diamond:north", "diamond:south", "diamond:east"
+        }
+
+    def test_shim_matches_strategy(self, router):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = router.risk_routes_from("diamond:west", exact=False)
+        modern = router.risk_routes_from("diamond:west", strategy="per-source")
+        assert legacy == modern
+
+    def test_enum_accepted(self, router):
+        routes = router.risk_routes_from(
+            "diamond:west", strategy=SweepStrategy.EXACT
+        )
+        single = router.risk_route("diamond:west", "diamond:east")
+        assert routes["diamond:east"].path == single.path
+
+    def test_both_given_raises(self, router):
+        with pytest.raises(ValueError):
+            router.risk_routes_from(
+                "diamond:west", strategy="exact", exact=True
+            )
+
+    def test_unknown_strategy_raises(self, router):
+        with pytest.raises(ValueError):
+            router.risk_routes_from("diamond:west", strategy="bogus")
 
 
 class TestIntegrationCorpus:

@@ -1,0 +1,343 @@
+"""Tests for repro.engine — the batched, cached RoutingEngine.
+
+The engine must be byte-identical to the dict-based reference
+implementation in repro.core.riskroute, warm answers must equal cold
+ones, invalidation must track the risk fingerprint, and the pools must
+agree with the serial path.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.riskroute import _risk_dijkstra
+from repro.engine import (
+    CsrGraph,
+    EngineConfig,
+    RoutingEngine,
+    SweepStrategy,
+    alpha_bucket,
+    clear_engine_registry,
+    csr_sweep,
+    get_engine,
+    graph_fingerprint,
+    risk_fingerprint,
+    sweep_many,
+)
+from repro.graph.core import NodeNotFoundError
+from tests.conftest import build_diamond_model, build_diamond_network
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_engine_registry()
+    yield
+    clear_engine_registry()
+
+
+@pytest.fixture
+def diamond_graph(diamond_network):
+    return diamond_network.distance_graph()
+
+
+@pytest.fixture
+def engine(diamond_graph, diamond_model):
+    return RoutingEngine(diamond_graph, diamond_model)
+
+
+def _reference_sweep(graph, model, source, alpha):
+    node_risk = {node: model.node_risk(node) for node in graph.nodes()}
+    return _risk_dijkstra(graph, node_risk, alpha, source)
+
+
+class TestCsrParity:
+    """The CSR sweep must match the dict reference byte for byte."""
+
+    @pytest.mark.parametrize("alpha", [0.0, 0.5, 123.75])
+    def test_diamond_all_sources(self, diamond_graph, diamond_model, alpha):
+        csr = CsrGraph(diamond_graph)
+        risk = [diamond_model.node_risk(n) for n in csr.node_ids]
+        entry_risk = csr.neighbor_values(risk)
+        for source in diamond_graph.nodes():
+            ref_dist, ref_parent = _reference_sweep(
+                diamond_graph, diamond_model, source, alpha
+            )
+            sweep = csr_sweep(
+                csr.indptr_list,
+                csr.indices_list,
+                csr.weights_list,
+                entry_risk,
+                csr.index[source],
+                alpha,
+            )
+            got_dist = {
+                csr.node_ids[i]: sweep.dist[i]
+                for i in range(len(csr.node_ids))
+                if sweep.dist[i] != float("inf")
+            }
+            got_parent = {
+                csr.node_ids[i]: csr.node_ids[p]
+                for i, p in enumerate(sweep.parent)
+                if p >= 0
+            }
+            assert got_dist == ref_dist  # exact floats, not approx
+            assert got_parent == ref_parent
+
+    def test_corpus_sample(self, teliasonera, teliasonera_model):
+        graph = teliasonera.distance_graph()
+        csr = CsrGraph(graph)
+        risk = [teliasonera_model.node_risk(n) for n in csr.node_ids]
+        entry_risk = csr.neighbor_values(risk)
+        source = csr.node_ids[0]
+        for alpha in (0.0, 0.31):
+            ref_dist, _ = _reference_sweep(
+                graph, teliasonera_model, source, alpha
+            )
+            sweep = csr_sweep(
+                csr.indptr_list,
+                csr.indices_list,
+                csr.weights_list,
+                entry_risk,
+                0,
+                alpha,
+            )
+            for i, name in enumerate(csr.node_ids):
+                assert sweep.dist[i] == ref_dist[name]
+
+    def test_sweep_order_matches_dict_insertion(self, diamond_graph, diamond_model):
+        """SweepResult.order replicates the reference dict's insertion
+        order, which downstream float accumulation depends on."""
+        csr = CsrGraph(diamond_graph)
+        risk = [diamond_model.node_risk(n) for n in csr.node_ids]
+        source = next(iter(diamond_graph.nodes()))
+        ref_dist, _ = _reference_sweep(diamond_graph, diamond_model, source, 0.4)
+        sweep = csr_sweep(
+            csr.indptr_list,
+            csr.indices_list,
+            csr.weights_list,
+            csr.neighbor_values(risk),
+            csr.index[source],
+            0.4,
+        )
+        assert [csr.node_ids[i] for i in sweep.order] == list(ref_dist)
+
+
+class TestWarmColdParity:
+    def test_cached_pair_identical_to_cold(self, diamond_graph, diamond_model):
+        cold = RoutingEngine(diamond_graph, diamond_model)
+        warm = RoutingEngine(diamond_graph, diamond_model)
+        warm.route_pair("diamond:west", "diamond:east")  # prime caches
+        a = cold.route_pair("diamond:west", "diamond:east")
+        b = warm.route_pair("diamond:west", "diamond:east")
+        assert a == b
+        assert pickle.dumps(a) == pickle.dumps(b)
+        assert warm.stats()["sweeps"]["hits"] > 0
+
+    @pytest.mark.parametrize(
+        "strategy", [SweepStrategy.EXACT, SweepStrategy.PER_SOURCE]
+    )
+    def test_cached_ratios_identical_to_cold(self, engine, strategy):
+        cold = engine.ratios(strategy=strategy)
+        assert engine.stats()["results"]["misses"] == 1
+        warm = engine.ratios(strategy=strategy)
+        assert engine.stats()["results"]["hits"] == 1
+        assert warm is cold  # memoized aggregate, not a recomputation
+        assert pickle.dumps(warm) == pickle.dumps(cold)
+
+    def test_engine_matches_reference_router_loop(
+        self, teliasonera, teliasonera_model
+    ):
+        """Engine ratios equal the values the seed computed pair by pair."""
+        from repro.core.ratios import ratios_over_pairs
+
+        graph = teliasonera.distance_graph()
+        engine = RoutingEngine(graph, teliasonera_model)
+        pairs = []
+        nodes = list(graph.nodes())[:6]
+        for s in nodes:
+            for t in nodes:
+                if s != t:
+                    pairs.append(engine.route_pair(s, t))
+        reference = ratios_over_pairs(pairs)
+        batched = engine.ratios(sources=nodes, targets=nodes)
+        assert batched.risk_reduction_ratio == reference.risk_reduction_ratio
+        assert (
+            batched.distance_increase_ratio
+            == reference.distance_increase_ratio
+        )
+
+
+class TestInvalidation:
+    def test_forecast_update_drops_risk_sweeps(self, diamond_network, engine):
+        engine.ratios()  # populate sweeps (risk-weighted + geographic)
+        cached_before = engine.stats()["cached_sweeps"]
+        assert cached_before > 0
+        of = {pop_id: 0.25 for pop_id in diamond_network.pop_ids()}
+        changed = engine.update_model(engine.model.with_forecast_risk(of))
+        assert changed is True
+        stats = engine.stats()
+        assert stats["sweeps"]["invalidations"] > 0
+        assert stats["cached_results"] == 0
+        # Geographic (alpha == 0) sweeps survive: risk cannot affect them.
+        remaining = stats["cached_sweeps"]
+        assert 0 < remaining < cached_before
+
+    def test_equivalent_model_keeps_caches(self, engine):
+        engine.ratios()
+        stats_before = engine.stats()
+        clone = build_diamond_model()  # same numbers, new object
+        assert engine.update_model(clone) is False
+        assert engine.stats()["cached_sweeps"] == stats_before["cached_sweeps"]
+        assert engine.model is clone
+
+    def test_new_field_changes_answers(self, diamond_network, diamond_graph):
+        """After invalidation the engine serves the new model's routes."""
+        risky_south = RoutingEngine(diamond_graph, build_diamond_model())
+        route_before = risky_south.risk_route("diamond:west", "diamond:east")
+        assert "diamond:north" in route_before.path
+        # Flip the risky transit from south to north.
+        flipped = build_diamond_model(south_risk=1e-3, north_risk=5e-2)
+        assert risky_south.update_model(flipped) is True
+        route_after = risky_south.risk_route("diamond:west", "diamond:east")
+        assert "diamond:south" in route_after.path
+
+    def test_risk_fingerprint_tracks_shares_and_risk(
+        self, diamond_graph, diamond_model
+    ):
+        nodes = list(diamond_graph.nodes())
+        base = risk_fingerprint(diamond_model, nodes)
+        assert risk_fingerprint(build_diamond_model(), nodes) == base
+        assert risk_fingerprint(
+            build_diamond_model(south_risk=9e-2), nodes
+        ) != base
+
+
+class TestParallel:
+    def _tasks(self, engine):
+        return [
+            (s, engine._shares[s] + engine._mean_share)
+            for s in range(engine.node_count)
+        ]
+
+    @pytest.mark.parametrize("executor", ["thread", "process"])
+    def test_pool_matches_serial(self, teliasonera, teliasonera_model, executor):
+        graph = teliasonera.distance_graph()
+        serial = RoutingEngine(graph, teliasonera_model)
+        pooled = RoutingEngine(
+            graph,
+            teliasonera_model,
+            config=EngineConfig(workers=2, executor=executor),
+        )
+        tasks = self._tasks(serial)
+        arrays = serial._arrays()
+        serial_results = sweep_many(arrays, tasks, serial.config)
+        pooled_results = sweep_many(arrays, tasks, pooled.config)
+        assert serial_results == pooled_results
+
+    def test_pooled_ratios_equal_serial(self, teliasonera, teliasonera_model):
+        graph = teliasonera.distance_graph()
+        serial = RoutingEngine(graph, teliasonera_model).ratios()
+        pooled = RoutingEngine(
+            graph,
+            teliasonera_model,
+            config=EngineConfig(workers=2, executor="thread"),
+        ).ratios()
+        assert pooled.risk_reduction_ratio == serial.risk_reduction_ratio
+        assert (
+            pooled.distance_increase_ratio == serial.distance_increase_ratio
+        )
+
+    def test_prefetch_counts_and_dedupes(self, engine):
+        tasks = self._tasks(engine)
+        assert engine.prefetch(tasks) == engine.node_count
+        assert engine.prefetch(tasks) == 0  # all cached now
+
+
+class TestAlphaBucketing:
+    def test_zero_resolution_is_exact(self):
+        assert alpha_bucket(0.123456, 0.0) == 0.123456
+
+    def test_bucketing_quantizes(self):
+        assert alpha_bucket(0.123456, 0.01) == pytest.approx(0.12)
+        assert alpha_bucket(0.128, 0.01) == pytest.approx(0.13)
+
+    def test_bucketed_engine_shares_sweeps(self, diamond_graph, diamond_model):
+        engine = RoutingEngine(
+            diamond_graph,
+            diamond_model,
+            config=EngineConfig(alpha_resolution=10.0),
+        )
+        # All pair alphas land in one bucket at this coarse resolution,
+        # so the exact strategy needs one risk sweep per source.
+        engine.ratios(strategy=SweepStrategy.EXACT)
+        # node_count geographic + node_count bucketed risk sweeps.
+        assert engine.stats()["cached_sweeps"] <= 2 * engine.node_count
+
+    def test_bucketed_costs_still_exact(self, diamond_graph, diamond_model):
+        """Bucketing may perturb path choice, never reported costs."""
+        from repro.core.bitrisk import path_metrics
+
+        engine = RoutingEngine(
+            diamond_graph,
+            diamond_model,
+            config=EngineConfig(alpha_resolution=0.05),
+        )
+        route = engine.risk_route("diamond:west", "diamond:east")
+        recomputed = path_metrics(
+            diamond_graph, list(route.path), diamond_model
+        )
+        assert route.bit_risk_miles == recomputed.bit_risk_miles
+
+
+class TestRegistry:
+    def test_same_topology_shares_engine(self, diamond_network, diamond_model):
+        g1 = diamond_network.distance_graph()
+        g2 = diamond_network.distance_graph()
+        assert get_engine(g1, diamond_model) is get_engine(g2, diamond_model)
+
+    def test_mutated_graph_gets_fresh_engine(self, diamond_network, diamond_model):
+        graph = diamond_network.distance_graph()
+        first = get_engine(graph, diamond_model)
+        graph.add_edge("diamond:west", "diamond:east", 1.0)
+        second = get_engine(graph, diamond_model)
+        assert second is not first
+        assert graph_fingerprint(graph) == second.topology_fingerprint
+
+    def test_registry_swaps_model_in_place(self, diamond_graph, diamond_model):
+        engine = get_engine(diamond_graph, diamond_model)
+        engine.ratios()
+        flipped = build_diamond_model(south_risk=1e-3, north_risk=5e-2)
+        again = get_engine(diamond_graph, flipped)
+        assert again is engine
+        assert engine.model is flipped
+        assert engine.stats()["sweeps"]["invalidations"] > 0
+
+
+class TestErrors:
+    def test_unknown_node_raises(self, engine):
+        with pytest.raises(NodeNotFoundError):
+            engine.risk_route("diamond:west", "nowhere")
+        with pytest.raises(NodeNotFoundError):
+            engine.sweep("nowhere", 0.0)
+
+    def test_model_must_cover_topology(self, diamond_graph):
+        partial = build_diamond_model()
+        diamond_graph.add_node("orphan")
+        with pytest.raises(KeyError):
+            RoutingEngine(diamond_graph, partial)
+
+    def test_disconnected_pair_raises(self, diamond_network, diamond_model):
+        from repro.graph.shortest_path import NoPathError
+        from repro.risk.model import RiskModel
+
+        graph = diamond_network.distance_graph()
+        graph.add_node("island")
+        shares = {n: 0.25 for n in graph.nodes()}
+        oh = {n: 1e-3 for n in graph.nodes()}
+        of = {n: 0.0 for n in graph.nodes()}
+        model = RiskModel(shares, oh, of, gamma_h=1e5, gamma_f=1e3)
+        engine = RoutingEngine(graph, model)
+        with pytest.raises(NoPathError):
+            engine.risk_route("diamond:west", "island")

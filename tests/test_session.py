@@ -1,0 +1,183 @@
+"""Tests for repro.session.RoutingSession — the redesigned entry point."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import RoutingSession
+from repro.core.ratios import intradomain_ratios
+from repro.core.riskroute import RiskRouter
+from repro.core.strategy import SweepStrategy, resolve_strategy
+from repro.engine import clear_engine_registry
+from tests.conftest import build_diamond_model, build_diamond_network
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_engine_registry()
+    yield
+    clear_engine_registry()
+
+
+@pytest.fixture
+def session(diamond_network, diamond_model):
+    return RoutingSession(diamond_network, diamond_model)
+
+
+class TestConstruction:
+    def test_network_mode_defaults_model(self, diamond_network):
+        session = RoutingSession(diamond_network)
+        assert session.model is not None
+        assert session.network is diamond_network
+
+    def test_graph_mode_needs_model(self, diamond_network):
+        with pytest.raises(ValueError):
+            RoutingSession(diamond_network.distance_graph())
+
+    def test_graph_mode_with_model(self, diamond_network, diamond_model):
+        session = RoutingSession(
+            diamond_network.distance_graph(), diamond_model
+        )
+        assert session.network is None
+        route = session.route("diamond:west", "diamond:east")
+        assert "diamond:south" not in route.path
+
+    def test_rejects_other_types(self, diamond_model):
+        with pytest.raises(TypeError):
+            RoutingSession({"not": "a network"}, diamond_model)
+
+    def test_fails_fast_on_model_mismatch(self, diamond_network):
+        graph = diamond_network.distance_graph()
+        graph.add_node("orphan")
+        with pytest.raises(KeyError):
+            RoutingSession(graph, build_diamond_model())
+
+
+class TestFacadeParity:
+    """The facade must agree with the historical API it wraps."""
+
+    def test_pair_matches_riskrouter(self, diamond_network, diamond_model):
+        session = RoutingSession(diamond_network, diamond_model)
+        router = RiskRouter(diamond_network.distance_graph(), diamond_model)
+        assert session.pair("diamond:west", "diamond:east") == (
+            router.route_pair("diamond:west", "diamond:east")
+        )
+
+    def test_all_pairs_matches_intradomain_ratios(
+        self, teliasonera, teliasonera_model
+    ):
+        session = RoutingSession(teliasonera, teliasonera_model)
+        router = RiskRouter(teliasonera.distance_graph(), teliasonera_model)
+        legacy = intradomain_ratios(router)
+        assert session.all_pairs() == legacy
+
+    def test_routes_from_matches_router(self, session, diamond_network, diamond_model):
+        router = RiskRouter(diamond_network.distance_graph(), diamond_model)
+        assert session.routes_from("diamond:west") == (
+            router.risk_routes_from("diamond:west")
+        )
+        assert session.shortest_from("diamond:west") == (
+            router.shortest_from("diamond:west")
+        )
+
+    def test_router_exposes_session_and_engine(
+        self, diamond_network, diamond_model
+    ):
+        router = RiskRouter(diamond_network.distance_graph(), diamond_model)
+        assert isinstance(router.session, RoutingSession)
+        assert router.engine is router.session.engine
+
+    def test_provision_matches_analyzer(self, diamond_network, diamond_model):
+        from repro.core.provisioning import ProvisioningAnalyzer
+
+        session = RoutingSession(diamond_network, diamond_model)
+        direct = ProvisioningAnalyzer(
+            diamond_network, diamond_model
+        ).rank_candidates(top=3)
+        assert session.provision(top=3) == direct
+
+    def test_provision_graph_mode_raises(self, diamond_network, diamond_model):
+        session = RoutingSession(
+            diamond_network.distance_graph(), diamond_model
+        )
+        with pytest.raises(ValueError):
+            session.provision()
+
+    def test_provision_bad_k(self, session):
+        with pytest.raises(ValueError):
+            session.provision(k=0)
+
+
+class TestModelLifecycle:
+    def test_update_forecast_invalidates(self, diamond_network, session):
+        session.all_pairs()
+        of = {pop_id: 0.3 for pop_id in diamond_network.pop_ids()}
+        assert session.update_forecast(of) is True
+        # Same forecast again: fingerprint unchanged, caches kept.
+        assert session.update_forecast(of) is False
+
+    def test_update_changes_answers(self, diamond_network):
+        session = RoutingSession(diamond_network, build_diamond_model())
+        assert "diamond:north" in session.route(
+            "diamond:west", "diamond:east"
+        ).path
+        flipped = build_diamond_model(south_risk=1e-3, north_risk=5e-2)
+        assert session.update_model(flipped) is True
+        assert "diamond:south" in session.route(
+            "diamond:west", "diamond:east"
+        ).path
+
+    def test_with_gammas_sibling(self, session):
+        relaxed = session.with_gammas(0.0, 0.0)
+        assert relaxed is not session
+        assert relaxed.network is session.network
+        pair = relaxed.pair("diamond:west", "diamond:east")
+        assert pair.riskroute.bit_miles == pytest.approx(
+            pair.shortest.bit_miles
+        )
+        # The original session is untouched.
+        assert session.model.gamma_h != 0.0
+
+
+class TestStrategyCoercion:
+    def test_enum_and_string_agree(self, session):
+        by_enum = session.routes_from(
+            "diamond:west", strategy=SweepStrategy.PER_SOURCE
+        )
+        by_string = session.routes_from("diamond:west", strategy="per-source")
+        assert by_enum == by_string
+
+    def test_unknown_string_raises(self, session):
+        with pytest.raises(ValueError):
+            session.routes_from("diamond:west", strategy="fastest")
+
+    def test_all_pairs_rejects_conflicting_args(self, session):
+        with pytest.raises(ValueError):
+            session.all_pairs(strategy="exact", exact=False)
+
+    def test_resolve_strategy_bool_positional_warns(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_strategy(True) is SweepStrategy.EXACT
+        with pytest.warns(DeprecationWarning):
+            assert resolve_strategy(False) is SweepStrategy.PER_SOURCE
+
+    def test_route_per_source_strategy(self, session):
+        exact = session.route("diamond:west", "diamond:east")
+        approx = session.route(
+            "diamond:west", "diamond:east", strategy="per-source"
+        )
+        assert approx.path[0] == exact.path[0]
+        assert approx.path[-1] == exact.path[-1]
+
+
+class TestSharedCaches:
+    def test_two_sessions_share_engine(self, diamond_network, diamond_model):
+        a = RoutingSession(diamond_network, diamond_model)
+        b = RoutingSession(diamond_network, build_diamond_model())
+        assert a.engine is b.engine
+
+    def test_warm_all_pairs_is_memoized(self, session):
+        first = session.all_pairs()
+        assert session.all_pairs() is first

@@ -57,7 +57,14 @@ from .topology import (
     tier1_networks,
 )
 
-__version__ = "1.0.0"
+try:
+    # Source the version from installed package metadata (pyproject is
+    # the single authority); fall back for PYTHONPATH=src checkouts.
+    from importlib.metadata import version as _dist_version
+
+    __version__ = _dist_version("repro")
+except Exception:  # pragma: no cover - uninstalled source tree
+    __version__ = "1.0.0"
 
 __all__ = [
     "__version__",

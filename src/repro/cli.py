@@ -8,14 +8,18 @@ Subcommands::
     riskroute corpus              # summarize the 23-network corpus
     riskroute route Level3 "Houston, TX" "Boston, MA" [--gamma-h 1e5]
     riskroute ratios Level3 [--strategy per-source] [--workers 4]
+    riskroute serve Level3 --port 4174
+    riskroute query --port 4174 route "Level3:Houston, TX" "Level3:Boston, MA"
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .experiments import get_experiment, registered_experiments
 from .risk.model import DEFAULT_GAMMA_F, DEFAULT_GAMMA_H, RiskModel
 from .session import RoutingSession
@@ -29,6 +33,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="riskroute",
         description="RiskRoute (CoNEXT 2013) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -84,6 +91,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="fan sweeps across this many processes (default: serial)",
     )
+
+    serve_p = sub.add_parser(
+        "serve", help="run the async query daemon for one network"
+    )
+    serve_p.add_argument("network", help="network name, e.g. Level3")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=4174,
+        help="TCP port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve_p.add_argument(
+        "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
+    )
+    serve_p.add_argument(
+        "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
+    )
+    serve_p.add_argument(
+        "--max-pending", type=int, default=256, dest="max_pending",
+        help="admission-control bound on queued requests (default: 256)",
+    )
+    serve_p.add_argument(
+        "--request-timeout", type=float, default=30.0, dest="request_timeout",
+        help="per-request deadline in seconds, 0 disables (default: 30)",
+    )
+    serve_p.add_argument(
+        "--batch-linger", type=float, default=0.002, dest="batch_linger",
+        help="seconds a batch waits for concurrent requests to coalesce "
+        "(default: 0.002)",
+    )
+
+    query_p = sub.add_parser("query", help="query a running daemon")
+    query_p.add_argument("--host", default="127.0.0.1")
+    query_p.add_argument("--port", type=int, default=4174)
+    query_p.add_argument("--timeout", type=float, default=30.0)
+    qsub = query_p.add_subparsers(dest="query_op", required=True)
+    q_route = qsub.add_parser("route", help="RiskRoute path for one pair")
+    q_route.add_argument("source", help='PoP id, e.g. "Level3:Houston, TX"')
+    q_route.add_argument("target")
+    q_route.add_argument("--strategy", choices=("exact", "per-source"))
+    q_pair = qsub.add_parser("pair", help="baseline + RiskRoute for one pair")
+    q_pair.add_argument("source")
+    q_pair.add_argument("target")
+    q_ratios = qsub.add_parser("ratios", help="all-pairs rr/dr (Eq. 5/6)")
+    q_ratios.add_argument("--strategy", choices=("exact", "per-source"))
+    q_prov = qsub.add_parser("provision", help="Equation 4 recommendations")
+    q_prov.add_argument("--k", type=int, default=1)
+    q_prov.add_argument("--top", type=int, default=None)
+    q_update = qsub.add_parser(
+        "update-forecast",
+        help="hot-swap forecast risk from a JSON file of {pop_id: o_f} "
+        "('-' reads stdin)",
+    )
+    q_update.add_argument("risk_file")
+    qsub.add_parser("stats", help="server + engine counters")
+    qsub.add_parser("health", help="liveness probe")
     return parser
 
 
@@ -185,6 +247,99 @@ def _cmd_ratios(
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from .server import RiskRouteServer, ServerConfig
+
+    try:
+        network = network_by_name(args.network)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    model = RiskModel.for_network(
+        network, gamma_h=args.gamma_h, gamma_f=args.gamma_f
+    )
+    session = RoutingSession(network, model)
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_pending=args.max_pending,
+        request_timeout=args.request_timeout,
+        batch_linger=args.batch_linger,
+    )
+
+    async def _amain() -> None:
+        server = RiskRouteServer(session, config)
+        host, port = await server.start()
+        print(
+            f"serving {network.name} ({network.pop_count} PoPs) "
+            f"on {host}:{port}",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.stop(drain=True)
+            print("drained and stopped", flush=True)
+
+    try:
+        asyncio.run(_amain())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from .server import RiskRouteClient, ServerError
+
+    try:
+        client = RiskRouteClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        with client:
+            if args.query_op == "route":
+                result = client.route(
+                    args.source, args.target, strategy=args.strategy
+                )
+            elif args.query_op == "pair":
+                result = client.pair(args.source, args.target)
+            elif args.query_op == "ratios":
+                result = client.ratios(strategy=args.strategy)
+            elif args.query_op == "provision":
+                result = client.provision(k=args.k, top=args.top)
+            elif args.query_op == "update-forecast":
+                if args.risk_file == "-":
+                    risk = json.load(sys.stdin)
+                else:
+                    with open(args.risk_file, encoding="utf-8") as handle:
+                        risk = json.load(handle)
+                result = client.update_forecast(risk)
+            elif args.query_op == "stats":
+                result = client.stats()
+            else:
+                result = client.health()
+            print(json.dumps(result, indent=2, sort_keys=True))
+    except ServerError as exc:
+        print(f"server error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -203,6 +358,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.network, args.strategy,
             args.gamma_h, args.gamma_f, args.workers,
         )
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -147,6 +147,33 @@ class RoutingEngine:
             "cached_results": len(self._results),
         }
 
+    # -- coalescing hooks --------------------------------------------------
+    #
+    # The query service plans whole batches of single-pair requests as
+    # (source index, alpha) sweep demands, deduplicates them, and
+    # prefetches once — these hooks expose exactly the impact values a
+    # query will sweep under, without reaching into private state.
+
+    def index_of(self, node: str) -> int:
+        """CSR row index of a node.
+
+        Raises:
+            NodeNotFoundError: for a name outside the topology.
+        """
+        return self._idx(node)
+
+    def pair_impact(self, source: str, target: str) -> float:
+        """The true pair impact ``alpha_ij = c_i + c_j`` — the sweep
+        impact of an ``EXACT`` single-pair query."""
+        return (
+            self._shares[self._idx(source)] + self._shares[self._idx(target)]
+        )
+
+    def expected_impact(self, source: str) -> float:
+        """The expected impact ``alpha_i = c_i + mean(c)`` — the sweep
+        impact of a ``PER_SOURCE`` all-targets query."""
+        return self._shares[self._idx(source)] + self._mean_share
+
     # -- sweep layer -------------------------------------------------------
 
     def _idx(self, node: str) -> int:

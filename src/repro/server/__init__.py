@@ -1,0 +1,68 @@
+"""The async RiskRoute query service.
+
+A stdlib-only asyncio daemon that fronts one
+:class:`~repro.session.RoutingSession` and serves a newline-delimited
+JSON protocol over TCP — the interactive-operator shape the paper's
+storm scenario needs (concurrent queries during a live advisory cycle),
+and the layer future scaling work (sharding, replica fan-out) plugs
+into.
+
+Service semantics, not a toy loop:
+
+* request **coalescing** — concurrent single-source queries that demand
+  the same ``(alpha bucket, source)`` sweep share one engine search;
+* **admission control / backpressure** — a bounded pending queue with
+  per-request deadlines and typed ``overloaded`` / ``timeout`` replies;
+* **hot forecast reloads** — ``update_forecast`` swaps ``o_f``
+  atomically between batches; replies are tagged with the risk
+  fingerprint they were computed under, so no answer ever mixes pre-
+  and post-advisory risk;
+* **graceful shutdown** draining admitted work;
+* a ``stats`` op exposing :class:`~repro.server.stats.ServerStats`
+  plus engine cache counters.
+
+Run one from the CLI (``riskroute serve Level3``), in-process
+(:class:`ServerThread`), or under your own loop
+(:class:`RiskRouteServer`); talk to it with
+:class:`~repro.server.client.RiskRouteClient` or ``riskroute query``.
+"""
+
+from .client import RiskRouteClient, ServerError
+from .coalesce import CoalescingQueue, PendingRequest
+from .daemon import RiskRouteServer, ServerConfig, ServerThread
+from .protocol import (
+    CONTROL_OPS,
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    QUERY_OPS,
+    ProtocolError,
+    Request,
+    encode_error,
+    encode_reply,
+    parse_request,
+)
+from .service import QueryService
+from .stats import ServerStats
+
+__all__ = [
+    "RiskRouteServer",
+    "ServerConfig",
+    "ServerThread",
+    "RiskRouteClient",
+    "ServerError",
+    "QueryService",
+    "ServerStats",
+    "CoalescingQueue",
+    "PendingRequest",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "encode_reply",
+    "encode_error",
+    "OPS",
+    "QUERY_OPS",
+    "CONTROL_OPS",
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+]

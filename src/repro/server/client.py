@@ -1,0 +1,139 @@
+"""Blocking stdlib client for the RiskRoute daemon.
+
+One socket, one request in flight at a time — the shape tests, examples
+and operator scripts want.  Error replies raise :class:`ServerError`
+carrying the wire error code; every successful routed reply's risk
+fingerprint is kept on :attr:`RiskRouteClient.last_fingerprint`, so a
+caller can tell which side of a forecast swap an answer came from::
+
+    with RiskRouteClient(host, port) as client:
+        pair = client.pair("Level3:Houston, TX", "Level3:Boston, MA")
+        client.update_forecast({"Level3:Houston, TX": 0.4})
+        after = client.pair("Level3:Houston, TX", "Level3:Boston, MA")
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional, Sequence
+
+__all__ = ["RiskRouteClient", "ServerError"]
+
+
+class ServerError(RuntimeError):
+    """An error reply from the daemon (wire code + message)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class RiskRouteClient:
+    """Blocking NDJSON client; safe from exactly one thread."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 4174,
+        timeout: Optional[float] = 30.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+        #: Risk fingerprint tag of the last successful routed reply.
+        self.last_fingerprint: Optional[str] = None
+
+    # -- plumbing ----------------------------------------------------------
+
+    def call(self, op: str, **params: Any) -> dict:
+        """Send one request and block for its reply.
+
+        ``None``-valued params are omitted from the wire.
+
+        Raises:
+            ServerError: on an error reply.
+            ConnectionError: when the daemon closes the connection.
+        """
+        self._next_id += 1
+        payload: Dict[str, Any] = {"id": self._next_id, "op": op}
+        payload.update({k: v for k, v in params.items() if v is not None})
+        self._file.write(
+            json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = json.loads(line.decode("utf-8"))
+        if not reply.get("ok"):
+            error = reply.get("error") or {}
+            raise ServerError(
+                error.get("code", "internal"), error.get("message", "")
+            )
+        self.last_fingerprint = reply.get("fingerprint")
+        return reply["result"]
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RiskRouteClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- ops ---------------------------------------------------------------
+
+    def route(
+        self, source: str, target: str, strategy: Optional[str] = None
+    ) -> dict:
+        """The RiskRoute path for one pair."""
+        return self.call("route", source=source, target=target,
+                         strategy=strategy)
+
+    def pair(self, source: str, target: str) -> dict:
+        """Baseline and RiskRoute for one pair, with rr/dr terms."""
+        return self.call("pair", source=source, target=target)
+
+    def ratios(
+        self,
+        sources: Optional[Sequence[str]] = None,
+        targets: Optional[Sequence[str]] = None,
+        strategy: Optional[str] = None,
+    ) -> dict:
+        """Equation 5/6 aggregates over the (sub)population of pairs."""
+        return self.call(
+            "ratios",
+            sources=list(sources) if sources is not None else None,
+            targets=list(targets) if targets is not None else None,
+            strategy=strategy,
+        )
+
+    def provision(self, k: int = 1, top: Optional[int] = None) -> dict:
+        """Equation 4 link recommendations."""
+        return self.call("provision", k=k, top=top)
+
+    def update_forecast(
+        self, risk: Dict[str, float], default: float = 0.0
+    ) -> dict:
+        """Hot-swap the forecast risk field (``o_f``) atomically.
+
+        ``risk`` may cover a subset of PoPs; the rest get ``default``.
+        """
+        return self.call("update_forecast", risk=dict(risk), default=default)
+
+    def stats(self) -> dict:
+        """Server counters, engine cache stats, current fingerprint."""
+        return self.call("stats")
+
+    def health(self) -> dict:
+        """Cheap liveness probe (bypasses the request queue)."""
+        return self.call("health")

@@ -1,0 +1,447 @@
+"""The asyncio daemon: connections, the worker loop, lifecycle.
+
+Architecture (all stdlib)::
+
+    clients --TCP/NDJSON--> handlers --submit--> CoalescingQueue
+                                                      |
+                                              single worker task
+                                                      |
+                                    one-thread executor -> QueryService
+                                                      |
+    clients <-------- replies (written by the worker/handlers)
+
+* **Handlers** frame lines, parse requests, answer ``health`` inline,
+  and enforce admission control: a full queue is an immediate
+  ``overloaded`` reply, a draining daemon answers ``shutting_down``,
+  and each admitted request carries a deadline.
+* **The worker** is the only consumer: it pulls contiguous batches,
+  expires requests past their deadline (``timeout``), runs query
+  batches on the one-thread executor (so engine state is touched by
+  exactly one thread), and applies ``update_forecast`` barriers between
+  batches — no reply can mix pre- and post-advisory risk.
+* **Shutdown** (:meth:`RiskRouteServer.stop` with ``drain=True``, the
+  default) closes the listener, stops admissions, lets the worker drain
+  every queued request, then closes remaining connections.
+
+:class:`ServerThread` runs a daemon on a background thread with its own
+event loop — the harness used by tests, benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Set, Tuple
+
+from .coalesce import CoalescingQueue, PendingRequest
+from .protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_error,
+    encode_reply,
+    parse_request,
+)
+from .service import QueryService
+from .stats import ServerStats
+
+__all__ = ["ServerConfig", "RiskRouteServer", "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Daemon tuning.
+
+    Args:
+        host, port: bind address; port 0 picks an ephemeral port
+            (read it back from :meth:`RiskRouteServer.start`).
+        max_pending: admission-control bound on queued requests.
+        max_batch: most query requests served per worker batch.
+        batch_linger: seconds a just-started batch waits for concurrent
+            requests to join it (0 = serve immediately; a few
+            milliseconds widens the coalescing window under load).
+        request_timeout: per-request deadline in seconds; expired
+            requests get a ``timeout`` reply (0 = no deadline).
+        max_line_bytes: request-line cap; longer lines are answered
+            ``too_large`` and the connection closes.
+        latency_window: service-time samples kept for p50/p99.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 256
+    max_batch: int = 64
+    batch_linger: float = 0.0
+    request_timeout: float = 30.0
+    max_line_bytes: int = MAX_LINE_BYTES
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_linger < 0 or self.request_timeout < 0:
+            raise ValueError("linger/timeout must be >= 0")
+        if self.max_line_bytes < 1024:
+            raise ValueError("max_line_bytes must be >= 1024")
+
+
+class RiskRouteServer:
+    """One daemon fronting one :class:`~repro.session.RoutingSession`.
+
+    Construct and run inside a running event loop (or use
+    :class:`ServerThread`)::
+
+        server = RiskRouteServer(session)
+        host, port = await server.start()
+        ...
+        await server.stop()        # graceful: drains queued work
+    """
+
+    def __init__(self, session, config: Optional[ServerConfig] = None) -> None:
+        self.session = session
+        self.config = config or ServerConfig()
+        self.stats = ServerStats(self.config.latency_window)
+        self.queue = CoalescingQueue(
+            self.config.max_pending, self.config.max_batch
+        )
+        self.service = QueryService(session)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="riskroute-service"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._worker_task: Optional[asyncio.Task] = None
+        self._writers: Set[asyncio.StreamWriter] = set()
+        self._started_at = 0.0
+        self.address: Optional[Tuple[str, int]] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start serving, and return the actual (host, port)."""
+        loop = asyncio.get_running_loop()
+        self._started_at = loop.time()
+        self._server = await asyncio.start_server(
+            self._handle,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        self._worker_task = loop.create_task(self._worker())
+        sockname = self._server.sockets[0].getsockname()
+        self.address = (sockname[0], sockname[1])
+        return self.address
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop the daemon.
+
+        ``drain=True`` (the default) serves every already-admitted
+        request before exiting; ``drain=False`` abandons queued work.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.queue.close()
+        if self._worker_task is not None:
+            if drain:
+                await self._worker_task
+            else:
+                self._worker_task.cancel()
+                try:
+                    await self._worker_task
+                except asyncio.CancelledError:
+                    pass
+            self._worker_task = None
+        for writer in list(self._writers):
+            self._close_writer(writer)
+        self._executor.shutdown(wait=True)
+
+    # -- connection handling -----------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        self._writers.add(writer)
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line exceeded the stream limit: reply, then close
+                    # (the remainder of the line cannot be re-framed).
+                    self.stats.malformed += 1
+                    self.stats.errors += 1
+                    self._write(
+                        writer,
+                        encode_error(
+                            None,
+                            "too_large",
+                            f"request line exceeds "
+                            f"{self.config.max_line_bytes} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # EOF: client is gone
+                if not line.strip():
+                    continue
+                await self._admit(loop, writer, line)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # disconnect mid-read: nothing to answer
+        finally:
+            self._writers.discard(writer)
+            self._close_writer(writer)
+
+    async def _admit(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        writer: asyncio.StreamWriter,
+        line: bytes,
+    ) -> None:
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            self.stats.malformed += 1
+            self.stats.errors += 1
+            self._write(writer, encode_error(None, exc.code, exc.message))
+            return
+        if request.op == "health":
+            self._write(
+                writer, encode_reply(request.id, self._health_payload(loop))
+            )
+            self.stats.replies += 1
+            return
+        now = loop.time()
+        deadline = (
+            now + self.config.request_timeout
+            if self.config.request_timeout > 0
+            else None
+        )
+        item = PendingRequest(
+            request=request, writer=writer, arrived=now, deadline=deadline
+        )
+        status = await self.queue.submit(item)
+        if status == "ok":
+            self.stats.requests += 1
+            self.stats.observe_queue_depth(len(self.queue))
+        elif status == "overloaded":
+            self.stats.overloads += 1
+            self.stats.errors += 1
+            self._write(
+                writer,
+                encode_error(
+                    request.id,
+                    "overloaded",
+                    f"pending queue full ({self.queue.max_pending}); "
+                    "retry later",
+                ),
+            )
+        else:
+            self.stats.errors += 1
+            self._write(
+                writer,
+                encode_error(
+                    request.id, "shutting_down", "daemon is draining"
+                ),
+            )
+
+    # -- the worker --------------------------------------------------------
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = await self.queue.next_batch(self.config.batch_linger)
+            if batch is None:
+                return  # closed and drained
+            now = loop.time()
+            live = []
+            for item in batch:
+                if item.expired(now):
+                    self.stats.timeouts += 1
+                    item.reply = encode_error(
+                        item.request.id,
+                        "timeout",
+                        f"request expired after "
+                        f"{self.config.request_timeout:g}s in queue",
+                    )
+                    item.ok = False
+                    self._deliver(loop, item)
+                else:
+                    live.append(item)
+            if not live:
+                continue
+            self.stats.batches += 1
+            op = live[0].request.op
+            if op == "stats":
+                item = live[0]
+                item.reply = encode_reply(
+                    item.request.id, self._stats_payload(loop)
+                )
+                item.ok = True
+                self._deliver(loop, item)
+                continue
+            if op == "update_forecast":
+                item = live[0]
+                changed = await loop.run_in_executor(
+                    self._executor, self.service.apply_update, item
+                )
+                if changed:
+                    self.stats.forecast_swaps += 1
+                self._deliver(loop, item)
+                continue
+            metrics = await loop.run_in_executor(
+                self._executor, self.service.execute_batch, live
+            )
+            self.stats.coalesced_sweeps += metrics["coalesced"]
+            self.stats.sweeps_computed += metrics["computed"]
+            for item in live:
+                self._deliver(loop, item)
+
+    # -- reply plumbing ----------------------------------------------------
+
+    def _deliver(
+        self, loop: asyncio.AbstractEventLoop, item: PendingRequest
+    ) -> None:
+        if item.reply is None:
+            item.reply = encode_error(
+                item.request.id, "internal", "no reply produced"
+            )
+            item.ok = False
+        self._write(item.writer, item.reply)
+        if item.ok:
+            self.stats.replies += 1
+        else:
+            self.stats.errors += 1
+        self.stats.observe_latency(loop.time() - item.arrived)
+
+    @staticmethod
+    def _write(writer: asyncio.StreamWriter, data: bytes) -> None:
+        """Best-effort single-call write; a vanished client is not an
+        error for the daemon (the reply is simply dropped)."""
+        try:
+            if not writer.is_closing():
+                writer.write(data)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    @staticmethod
+    def _close_writer(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    # -- payloads ----------------------------------------------------------
+
+    def _network_info(self) -> dict:
+        network = getattr(self.session, "network", None)
+        engine = self.session.engine
+        return {
+            "network": network.name if network is not None else None,
+            "pops": engine.node_count,
+            "risk_fingerprint": engine.risk_fingerprint,
+        }
+
+    def _health_payload(self, loop: asyncio.AbstractEventLoop) -> dict:
+        payload = {
+            "status": "draining" if self.queue.closed else "ok",
+            "uptime_s": loop.time() - self._started_at,
+            "queue_depth": len(self.queue),
+        }
+        payload.update(self._network_info())
+        return payload
+
+    def _stats_payload(self, loop: asyncio.AbstractEventLoop) -> dict:
+        # Runs on the loop thread while the executor is idle (stats is
+        # a barrier op), so reading engine counters here cannot race a
+        # batch.
+        payload = self.stats.snapshot(
+            queue_depth=len(self.queue),
+            uptime=loop.time() - self._started_at,
+        )
+        payload["engine"] = self.session.stats()
+        payload.update(self._network_info())
+        return payload
+
+
+class ServerThread:
+    """A daemon on a dedicated background thread with its own loop.
+
+    Usage::
+
+        with ServerThread(session) as (host, port):
+            client = RiskRouteClient(host, port)
+            ...
+
+    The server object (for stats or tuning inspection) is available as
+    ``.server`` once started.  ``stop(drain=False)`` abandons queued
+    work; the context manager exit drains.
+    """
+
+    def __init__(self, session, config: Optional[ServerConfig] = None) -> None:
+        self._session = session
+        self._config = config
+        self._ready = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._drain = True
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[RiskRouteServer] = None
+        self.address: Optional[Tuple[str, int]] = None
+
+    def start(self) -> Tuple[str, int]:
+        """Start the thread; returns the bound (host, port)."""
+        self._thread = threading.Thread(
+            target=self._run, name="riskroute-server", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server thread failed to start in 30s")
+        if self._startup_error is not None:
+            raise RuntimeError("server failed to start") from (
+                self._startup_error
+            )
+        assert self.address is not None
+        return self.address
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the daemon and join the thread."""
+        if self._thread is None or self._loop is None:
+            return
+        self._drain = drain
+        loop, stop_event = self._loop, self._stop_event
+        if stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._thread.join(timeout=60)
+        self._thread = None
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:  # noqa: BLE001 - reported to starter
+            self._startup_error = exc
+            self._ready.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.server = RiskRouteServer(self._session, self._config)
+        self.address = await self.server.start()
+        self._ready.set()
+        await self._stop_event.wait()
+        await self.server.stop(drain=self._drain)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,198 @@
+"""The wire protocol: newline-delimited JSON over TCP.
+
+One request per line, one reply per line, UTF-8.  A request is a JSON
+object with an ``op`` field, an optional ``id`` (echoed verbatim on the
+reply, so clients may pipeline), and op-specific parameters::
+
+    {"id": 7, "op": "route", "source": "Level3:Houston, TX",
+     "target": "Level3:Boston, MA", "strategy": "exact"}
+
+Replies carry ``ok``.  Successful routed replies are tagged with the
+engine's risk fingerprint at the moment the answer was computed — the
+observable half of the atomic forecast-swap guarantee (no reply ever
+mixes pre- and post-advisory risk, and the tag tells you which side of
+an ``update_forecast`` barrier a reply came from)::
+
+    {"id": 7, "ok": true, "result": {...}, "fingerprint": "9f32..."}
+    {"id": 7, "ok": false, "error": {"code": "unknown_node",
+                                     "message": "..."}}
+
+Error codes are a closed set (:data:`ERROR_CODES`); clients switch on
+``code``, never on message text.  Lines longer than the server's
+``max_line_bytes`` cap are answered with ``too_large`` and the
+connection is closed (the rest of the oversized line cannot be framed
+reliably).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "OPS",
+    "QUERY_OPS",
+    "CONTROL_OPS",
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "Request",
+    "parse_request",
+    "encode_reply",
+    "encode_error",
+    "route_to_dict",
+    "pair_to_dict",
+    "ratios_to_dict",
+    "recommendation_to_dict",
+]
+
+#: Default cap on one request line (daemon and client side).
+MAX_LINE_BYTES = 1 << 20
+
+#: Ops answered from engine state, batched and coalesced by the worker.
+QUERY_OPS = ("route", "pair", "ratios", "provision")
+
+#: Ops that act as queue barriers: each runs alone between batches, so
+#: queries admitted before one see the old state and queries after see
+#: the new (``stats`` snapshots are consistent for the same reason).
+CONTROL_OPS = ("update_forecast", "stats")
+
+#: Every op the daemon understands (``health`` bypasses the queue).
+OPS = QUERY_OPS + CONTROL_OPS + ("health",)
+
+#: The closed error vocabulary.
+ERROR_CODES = (
+    "bad_request",    # not JSON, not an object, missing/unknown fields
+    "unknown_op",     # op outside OPS
+    "unknown_node",   # a PoP name the topology does not contain
+    "no_path",        # endpoints in different components
+    "too_large",      # request line over the cap (connection closes)
+    "overloaded",     # pending queue full; retry later
+    "timeout",        # request expired before the worker reached it
+    "shutting_down",  # daemon draining; no new work admitted
+    "internal",       # unexpected server-side failure
+)
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be served, with its wire error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One decoded request line."""
+
+    op: str
+    id: Any = None
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+def parse_request(line: bytes) -> Request:
+    """Decode one raw request line.
+
+    Raises:
+        ProtocolError: ``bad_request`` for malformed JSON or shape,
+            ``unknown_op`` for an op outside the protocol.
+    """
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad_request", f"malformed request line: {exc}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            "bad_request",
+            f"request must be a JSON object, got {type(payload).__name__}",
+        )
+    op = payload.pop("op", None)
+    if op is None:
+        raise ProtocolError("bad_request", "request is missing 'op'")
+    if op not in OPS:
+        raise ProtocolError(
+            "unknown_op", f"unknown op {op!r}; expected one of {list(OPS)}"
+        )
+    request_id = payload.pop("id", None)
+    return Request(op=op, id=request_id, params=payload)
+
+
+def _line(payload: dict) -> bytes:
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def encode_reply(
+    request_id: Any, result: dict, fingerprint: Optional[str] = None
+) -> bytes:
+    """One successful reply line."""
+    payload: Dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+    if fingerprint is not None:
+        payload["fingerprint"] = fingerprint
+    return _line(payload)
+
+
+def encode_error(request_id: Any, code: str, message: str) -> bytes:
+    """One error reply line."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return _line(
+        {
+            "id": request_id,
+            "ok": False,
+            "error": {"code": code, "message": message},
+        }
+    )
+
+
+# -- result serializers ------------------------------------------------------
+#
+# JSON round-trips Python floats exactly (repr-based), so a client can
+# compare served numbers byte-for-byte against direct RoutingSession
+# answers — the concurrency-correctness tests rely on this.
+
+
+def route_to_dict(route) -> dict:
+    """Serialize a :class:`~repro.core.riskroute.RouteResult`."""
+    return {
+        "source": route.source,
+        "target": route.target,
+        "path": list(route.path),
+        "bit_miles": route.bit_miles,
+        "bit_risk_miles": route.bit_risk_miles,
+    }
+
+
+def pair_to_dict(pair) -> dict:
+    """Serialize a :class:`~repro.core.riskroute.PairRoutes`."""
+    return {
+        "shortest": route_to_dict(pair.shortest),
+        "riskroute": route_to_dict(pair.riskroute),
+        "risk_ratio": pair.risk_ratio,
+        "distance_ratio": pair.distance_ratio,
+    }
+
+
+def ratios_to_dict(result) -> dict:
+    """Serialize a :class:`~repro.core.ratios.RatioResult`."""
+    return {
+        "risk_reduction_ratio": result.risk_reduction_ratio,
+        "distance_increase_ratio": result.distance_increase_ratio,
+        "pair_count": result.pair_count,
+    }
+
+
+def recommendation_to_dict(rec) -> dict:
+    """Serialize a :class:`~repro.core.provisioning.LinkRecommendation`."""
+    return {
+        "pop_a": rec.candidate.pop_a,
+        "pop_b": rec.candidate.pop_b,
+        "length_miles": rec.candidate.length_miles,
+        "aggregate_bit_risk": rec.aggregate_bit_risk,
+        "baseline_bit_risk": rec.baseline_bit_risk,
+        "fraction_of_baseline": rec.fraction_of_baseline,
+    }

@@ -1,0 +1,225 @@
+"""Query execution: one batch at a time, against one RoutingSession.
+
+The daemon's single worker hands the service whole batches (see
+:mod:`repro.server.coalesce`), and the service runs them synchronously
+on a one-thread executor — so exactly one thread ever touches the
+engine, and a batch always executes under exactly one risk model.
+That serialization is what makes the forecast-swap guarantee atomic:
+:meth:`QueryService.apply_update` only ever runs *between* batches, and
+every reply in a batch is tagged with the risk fingerprint captured
+when the batch started.
+
+Coalescing happens here too: before dispatching, the batch's sweep
+demands — the ``(alpha bucket, source)`` searches each request will
+need — are collected, deduplicated and prefetched in one engine call.
+Requests that demand the same sweep share one computation; the surplus
+is reported back as ``coalesced`` and surfaces in server stats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.strategy import SweepStrategy, resolve_strategy
+from ..engine.cache import alpha_bucket
+from ..graph.core import NodeNotFoundError
+from ..graph.shortest_path import NoPathError
+from .coalesce import PendingRequest
+from .protocol import (
+    ProtocolError,
+    Request,
+    encode_error,
+    encode_reply,
+    pair_to_dict,
+    ratios_to_dict,
+    recommendation_to_dict,
+    route_to_dict,
+)
+
+__all__ = ["QueryService"]
+
+
+def _require_str(params: Dict[str, Any], key: str) -> str:
+    value = params.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(
+            "bad_request", f"param {key!r} must be a string, got {value!r}"
+        )
+    return value
+
+
+def _wire_strategy(params: Dict[str, Any]):
+    raw = params.get("strategy")
+    if raw is None:
+        return None
+    try:
+        return resolve_strategy(raw)
+    except ValueError as exc:
+        raise ProtocolError("bad_request", str(exc))
+
+
+class QueryService:
+    """Synchronous batch executor over one :class:`RoutingSession`."""
+
+    def __init__(self, session) -> None:
+        self.session = session
+
+    # -- coalescing plan ---------------------------------------------------
+
+    def _sweep_demands(
+        self, engine, request: Request
+    ) -> List[Tuple[int, float]]:
+        """The (source index, alpha) sweeps one request will consult.
+
+        Only single-pair ops contribute: ``ratios``/``provision`` carry
+        their own batched prefetch inside the engine.  Unknown nodes or
+        bad params yield no demands — the dispatch step reports them.
+        """
+        op, params = request.op, request.params
+        try:
+            if op == "route":
+                source = _require_str(params, "source")
+                target = _require_str(params, "target")
+                s = engine.index_of(source)
+                if _wire_strategy(params) is SweepStrategy.PER_SOURCE:
+                    return [(s, engine.expected_impact(source))]
+                return [(s, engine.pair_impact(source, target))]
+            if op == "pair":
+                source = _require_str(params, "source")
+                target = _require_str(params, "target")
+                s = engine.index_of(source)
+                return [(s, 0.0), (s, engine.pair_impact(source, target))]
+        except (ProtocolError, NodeNotFoundError):
+            return []
+        return []
+
+    # -- batch execution (worker-thread entry points) ----------------------
+
+    def execute_batch(self, batch: List[PendingRequest]) -> Dict[str, int]:
+        """Serve one batch of query requests, filling each item's reply.
+
+        Returns coalescing metrics: ``demands`` (sweeps requested),
+        ``coalesced`` (demands shared within the batch), ``computed``
+        (cold sweeps actually run by the shared prefetch).
+        """
+        engine = self.session.engine
+        fingerprint = engine.risk_fingerprint
+        resolution = engine.config.alpha_resolution
+        demands: List[Tuple[int, float]] = []
+        for item in batch:
+            demands.extend(self._sweep_demands(engine, item.request))
+        unique = {
+            (source, alpha_bucket(alpha, resolution))
+            for source, alpha in demands
+        }
+        computed = engine.prefetch(demands) if demands else 0
+        for item in batch:
+            self._dispatch(engine, item, fingerprint)
+        return {
+            "demands": len(demands),
+            "coalesced": len(demands) - len(unique),
+            "computed": computed,
+        }
+
+    def apply_update(self, item: PendingRequest) -> bool:
+        """Apply one ``update_forecast`` barrier; returns whether the
+        risk field actually changed (and sweeps were invalidated)."""
+        request = item.request
+        try:
+            risk = request.params.get("risk")
+            if not isinstance(risk, dict):
+                raise ProtocolError(
+                    "bad_request", "param 'risk' must be an object of "
+                    "{pop_id: forecast_risk}"
+                )
+            default = request.params.get("default", 0.0)
+            if not isinstance(default, (int, float)):
+                raise ProtocolError(
+                    "bad_request", f"param 'default' must be a number, "
+                    f"got {default!r}"
+                )
+            model = self.session.model
+            known = set(model.pop_ids())
+            unknown = sorted(set(risk) - known)
+            if unknown:
+                raise NodeNotFoundError(unknown[0])
+            full = {
+                pop: float(risk.get(pop, default)) for pop in model.pop_ids()
+            }
+            changed = self.session.update_forecast(full)
+            item.reply = encode_reply(
+                request.id,
+                {"changed": changed},
+                fingerprint=self.session.engine.risk_fingerprint,
+            )
+            item.ok = True
+            return changed
+        except Exception as exc:  # noqa: BLE001 - mapped to wire errors
+            item.reply = self._error_reply(request, exc)
+            item.ok = False
+            return False
+
+    # -- per-request dispatch ----------------------------------------------
+
+    def _dispatch(self, engine, item: PendingRequest, fingerprint: str) -> None:
+        request = item.request
+        try:
+            result = self._result_for(engine, request)
+            item.reply = encode_reply(
+                request.id, result, fingerprint=fingerprint
+            )
+            item.ok = True
+        except Exception as exc:  # noqa: BLE001 - mapped to wire errors
+            item.reply = self._error_reply(request, exc)
+            item.ok = False
+
+    def _result_for(self, engine, request: Request) -> dict:
+        op, params = request.op, request.params
+        if op == "route":
+            source = _require_str(params, "source")
+            target = _require_str(params, "target")
+            strategy = _wire_strategy(params) or SweepStrategy.EXACT
+            return route_to_dict(self.session.route(source, target, strategy))
+        if op == "pair":
+            source = _require_str(params, "source")
+            target = _require_str(params, "target")
+            return pair_to_dict(self.session.pair(source, target))
+        if op == "ratios":
+            sources = params.get("sources")
+            targets = params.get("targets")
+            strategy = _wire_strategy(params)
+            return ratios_to_dict(
+                self.session.all_pairs(
+                    sources=sources, targets=targets, strategy=strategy
+                )
+            )
+        if op == "provision":
+            k = params.get("k", 1)
+            top = params.get("top")
+            if not isinstance(k, int):
+                raise ProtocolError(
+                    "bad_request", f"param 'k' must be an integer, got {k!r}"
+                )
+            try:
+                recs = self.session.provision(k=k, top=top)
+            except ValueError as exc:
+                raise ProtocolError("bad_request", str(exc))
+            return {"recommendations": [recommendation_to_dict(r) for r in recs]}
+        raise ProtocolError("unknown_op", f"op {op!r} is not a query op")
+
+    @staticmethod
+    def _error_reply(request: Request, exc: Exception) -> bytes:
+        if isinstance(exc, ProtocolError):
+            return encode_error(request.id, exc.code, exc.message)
+        if isinstance(exc, NodeNotFoundError):
+            name = exc.args[0] if exc.args else "?"
+            return encode_error(
+                request.id, "unknown_node", f"unknown PoP {name!r}"
+            )
+        if isinstance(exc, NoPathError):
+            return encode_error(request.id, "no_path", str(exc))
+        if isinstance(exc, (TypeError, ValueError, KeyError)):
+            return encode_error(request.id, "bad_request", str(exc))
+        return encode_error(
+            request.id, "internal", f"{type(exc).__name__}: {exc}"
+        )

@@ -1,0 +1,79 @@
+"""Server-side counters: the ``stats`` op's payload.
+
+All mutation happens on the event-loop thread (connection handlers and
+the worker coroutine), so plain attributes suffice — no locks.  Service
+latency keeps a bounded window of recent samples; p50/p99 are computed
+on snapshot, which is a control op and therefore never races a batch.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+__all__ = ["ServerStats"]
+
+
+def _percentile(samples: list, fraction: float) -> float:
+    """Nearest-rank percentile of a sorted sample list (seconds)."""
+    if not samples:
+        return 0.0
+    rank = min(len(samples) - 1, int(fraction * len(samples)))
+    return samples[rank]
+
+
+class ServerStats:
+    """Counters for one daemon lifetime.
+
+    ``coalesced_sweeps`` counts sweep demands that were satisfied by
+    another request in the same batch — the direct measure of request
+    coalescing (N concurrent clients asking about one source demand N
+    sweeps but trigger one).
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self.connections = 0
+        self.requests = 0          # admitted to the queue
+        self.replies = 0           # successful replies sent
+        self.errors = 0            # error replies sent (any code)
+        self.overloads = 0         # rejected: queue full
+        self.timeouts = 0          # expired before service
+        self.malformed = 0         # bad_request / unknown_op / too_large
+        self.batches = 0           # worker batches executed
+        self.coalesced_sweeps = 0  # sweep demands shared within a batch
+        self.sweeps_computed = 0   # cold sweeps actually run
+        self.forecast_swaps = 0    # update_forecast calls that invalidated
+        self.queue_high_water = 0  # max pending depth observed
+        self._latencies: Deque[float] = deque(maxlen=latency_window)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Track the high-water mark of the pending queue."""
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one request's arrival-to-reply service time."""
+        self._latencies.append(seconds)
+
+    def snapshot(self, queue_depth: int, uptime: float) -> dict:
+        """The ``stats`` reply payload (server half; the daemon merges
+        engine cache counters and the current risk fingerprint in)."""
+        window = sorted(self._latencies)
+        return {
+            "connections": self.connections,
+            "requests": self.requests,
+            "replies": self.replies,
+            "errors": self.errors,
+            "overloads": self.overloads,
+            "timeouts": self.timeouts,
+            "malformed": self.malformed,
+            "batches": self.batches,
+            "coalesced_sweeps": self.coalesced_sweeps,
+            "sweeps_computed": self.sweeps_computed,
+            "forecast_swaps": self.forecast_swaps,
+            "queue_depth": queue_depth,
+            "queue_high_water": self.queue_high_water,
+            "p50_ms": _percentile(window, 0.50) * 1e3,
+            "p99_ms": _percentile(window, 0.99) * 1e3,
+            "uptime_s": uptime,
+        }

@@ -98,6 +98,11 @@ class RoutingSession:
         self.engine.configure(config)
         return self
 
+    def stats(self) -> dict:
+        """Engine cache counters for the current binding (hit/miss/
+        eviction/invalidation per layer plus occupancy)."""
+        return self.engine.stats()
+
     # -- model lifecycle ---------------------------------------------------
 
     def update_model(self, model: RiskModel) -> bool:

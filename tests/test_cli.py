@@ -32,6 +32,68 @@ class TestParser:
         assert args.gamma_f == 0.0
 
 
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+    def test_dunder_version_matches_pyproject(self):
+        import re
+        from pathlib import Path
+
+        import repro
+
+        pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+        declared = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        ).group(1)
+        assert repro.__version__ == declared
+
+
+class TestServeQueryParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "Level3"])
+        assert args.command == "serve"
+        assert args.port == 4174
+        assert args.max_pending == 256
+        assert args.request_timeout == 30.0
+
+    def test_serve_overrides(self):
+        args = build_parser().parse_args(
+            ["serve", "Level3", "--port", "0", "--max-pending", "8",
+             "--batch-linger", "0.01"]
+        )
+        assert args.port == 0
+        assert args.max_pending == 8
+        assert args.batch_linger == 0.01
+
+    def test_query_route(self):
+        args = build_parser().parse_args(
+            ["query", "--port", "9999", "route", "a", "b",
+             "--strategy", "per-source"]
+        )
+        assert args.command == "query"
+        assert args.query_op == "route"
+        assert args.strategy == "per-source"
+
+    def test_query_requires_op(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--port", "9999"])
+
+    def test_serve_unknown_network(self, capsys):
+        assert main(["serve", "Atlantisnet"]) == 2
+
+    def test_query_connection_refused(self, capsys):
+        # A port in TEST-NET territory nothing listens on.
+        code = main(["query", "--port", "1", "--timeout", "2", "health"])
+        assert code == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0

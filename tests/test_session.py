@@ -172,6 +172,77 @@ class TestStrategyCoercion:
         assert approx.path[-1] == exact.path[-1]
 
 
+class TestInvalidationBoundary:
+    """A forecast swap must drop exactly the risk-weighted sweeps:
+    geographic (alpha == 0) sweeps stay warm across advisories."""
+
+    def test_forecast_swap_keeps_geographic_sweeps(
+        self, diamond_network, session
+    ):
+        engine = session.engine
+        # Warm one geographic and one risk-weighted sweep.
+        session.pair("diamond:west", "diamond:east")
+        warm = engine.stats()
+        assert warm["cached_sweeps"] >= 2
+        of = {pop_id: 0.3 for pop_id in diamond_network.pop_ids()}
+        assert session.update_forecast(of) is True
+        after = engine.stats()
+        # Risk sweeps dropped, geographic sweeps survived.
+        assert 1 <= after["cached_sweeps"] < warm["cached_sweeps"]
+        # The surviving sweep really is the geographic one: a shortest
+        # query is a pure cache hit ...
+        hits_before = engine.stats()["sweeps"]["hits"]
+        misses_before = engine.stats()["sweeps"]["misses"]
+        session.shortest("diamond:west", "diamond:east")
+        assert engine.stats()["sweeps"]["hits"] == hits_before + 1
+        assert engine.stats()["sweeps"]["misses"] == misses_before
+        # ... while the risk-weighted sweep must be recomputed.
+        session.route("diamond:west", "diamond:east")
+        assert engine.stats()["sweeps"]["misses"] == misses_before + 1
+
+    def test_forecast_swap_drops_aggregates(self, session, diamond_network):
+        first = session.all_pairs()
+        of = {pop_id: 0.25 for pop_id in diamond_network.pop_ids()}
+        assert session.update_forecast(of) is True
+        second = session.all_pairs()
+        assert second is not first  # memoized aggregate was invalidated
+
+    def test_with_gammas_never_leaks_across_settings(self, diamond_network):
+        base = RoutingSession(diamond_network, build_diamond_model())
+        assert "diamond:north" in base.route(
+            "diamond:west", "diamond:east"
+        ).path
+        # A gamma-free sibling must not be served the gamma-weighted
+        # cached sweep: with risk switched off the geometrically
+        # shorter (risky) south corridor wins.
+        relaxed = base.with_gammas(0.0, 0.0)
+        relaxed_route = relaxed.route("diamond:west", "diamond:east")
+        assert "diamond:south" in relaxed_route.path
+        assert relaxed_route.bit_miles == pytest.approx(
+            relaxed.shortest("diamond:west", "diamond:east").bit_miles
+        )
+        # Swapping back, the original gammas answer correctly again —
+        # no residue from the sibling's sweeps either.
+        assert "diamond:north" in base.route(
+            "diamond:west", "diamond:east"
+        ).path
+
+    def test_with_gammas_result_cache_isolated(self, diamond_network):
+        base = RoutingSession(diamond_network, build_diamond_model())
+        base_ratios = base.all_pairs()
+        sibling = base.with_gammas(0.0, 0.0)
+        sibling_ratios = sibling.all_pairs()
+        # Different gammas, different aggregates — a leaked result
+        # cache entry would have returned the identical object.
+        assert sibling_ratios is not base_ratios
+        assert (
+            sibling_ratios.risk_reduction_ratio
+            != base_ratios.risk_reduction_ratio
+        )
+        # And the base session still answers with its own numbers.
+        assert base.all_pairs() == base_ratios
+
+
 class TestSharedCaches:
     def test_two_sessions_share_engine(self, diamond_network, diamond_model):
         a = RoutingSession(diamond_network, diamond_model)

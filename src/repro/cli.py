@@ -92,6 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan sweeps across this many processes (default: serial)",
     )
 
+    prov_p = sub.add_parser(
+        "provision",
+        help="Equation 4 link recommendations for one network",
+    )
+    prov_p.add_argument("network", help="network name, e.g. Level3")
+    prov_p.add_argument(
+        "--k", type=int, default=1,
+        help="links to add greedily (1 = rank candidates; default: 1)",
+    )
+    prov_p.add_argument(
+        "--top", type=int, default=10,
+        help="recommendations to print when ranking (default: 10)",
+    )
+    prov_p.add_argument(
+        "--exact", action="store_true",
+        help="re-verify incremental matrices against a rebuild per link",
+    )
+    prov_p.add_argument(
+        "--verify-every", type=int, default=1, dest="verify_every",
+        help="with --exact, verify every N insertions (default: 1)",
+    )
+    prov_p.add_argument(
+        "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
+    )
+    prov_p.add_argument(
+        "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
+    )
+
     serve_p = sub.add_parser(
         "serve", help="run the async query daemon for one network"
     )
@@ -138,6 +166,13 @@ def build_parser() -> argparse.ArgumentParser:
     q_prov = qsub.add_parser("provision", help="Equation 4 recommendations")
     q_prov.add_argument("--k", type=int, default=1)
     q_prov.add_argument("--top", type=int, default=None)
+    q_prov.add_argument(
+        "--exact", action="store_true",
+        help="re-verify incremental matrices against a rebuild per link",
+    )
+    q_prov.add_argument(
+        "--verify-every", type=int, default=1, dest="verify_every"
+    )
     q_update = qsub.add_parser(
         "update-forecast",
         help="hot-swap forecast risk from a JSON file of {pop_id: o_f} "
@@ -247,6 +282,48 @@ def _cmd_ratios(
     return 0
 
 
+def _cmd_provision(args) -> int:
+    try:
+        network = network_by_name(args.network)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.k < 1 or args.verify_every < 1:
+        print("--k and --verify-every must be >= 1", file=sys.stderr)
+        return 2
+    from .core.provisioning import ProvisioningAnalyzer
+
+    model = RiskModel.for_network(
+        network, gamma_h=args.gamma_h, gamma_f=args.gamma_f
+    )
+    analyzer = ProvisioningAnalyzer(network, model)
+    if args.k == 1:
+        recs = analyzer.rank_candidates(top=args.top)
+    else:
+        recs = analyzer.greedy_links(
+            args.k, exact=args.exact, verify_every=args.verify_every
+        )
+    for rank, rec in enumerate(recs, start=1):
+        print(
+            f"{rank:2d}. {rec.candidate.pop_a.split(':', 1)[-1]} <-> "
+            f"{rec.candidate.pop_b.split(':', 1)[-1]} "
+            f"({rec.candidate.length_miles:7.1f} mi, "
+            f"{rec.fraction_of_baseline:.4f} of baseline)"
+        )
+    stats = analyzer.stats
+    print(
+        f"sweeps: {stats.sweeps_run} run, {stats.sweeps_avoided} avoided; "
+        f"{stats.candidates_scored} candidates scored, "
+        f"{stats.matrix_updates} incremental updates"
+        + (
+            f"; max verify deviation {stats.max_verify_deviation:.3e}"
+            if stats.verifications
+            else ""
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -318,7 +395,10 @@ def _cmd_query(args) -> int:
             elif args.query_op == "ratios":
                 result = client.ratios(strategy=args.strategy)
             elif args.query_op == "provision":
-                result = client.provision(k=args.k, top=args.top)
+                result = client.provision(
+                    k=args.k, top=args.top,
+                    exact=args.exact, verify_every=args.verify_every,
+                )
             elif args.query_op == "update-forecast":
                 if args.risk_file == "-":
                     risk = json.load(sys.stdin)
@@ -358,6 +438,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.network, args.strategy,
             args.gamma_h, args.gamma_f, args.workers,
         )
+    if args.command == "provision":
+        return _cmd_provision(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "query":

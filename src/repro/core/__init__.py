@@ -23,6 +23,7 @@ from .provisioning import (
     LinkRecommendation,
     PeeringRecommendation,
     ProvisioningAnalyzer,
+    ProvisioningStats,
     best_new_peering,
     candidate_links,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "PeeringRecommendation",
     "candidate_links",
     "ProvisioningAnalyzer",
+    "ProvisioningStats",
     "best_new_peering",
     "NetworkCharacteristics",
     "characteristics_of",

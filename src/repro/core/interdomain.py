@@ -77,6 +77,13 @@ class InterdomainRouter:
         """The underlying single-graph routing engine."""
         return self._router
 
+    @property
+    def engine(self):
+        """The merged graph's :class:`~repro.engine.RoutingEngine` —
+        shared sweep/cache state for batched consumers (the Figure 11
+        peering search scores every candidate against it)."""
+        return self._router.engine
+
     def bounds(self, source: str, target: str) -> BoundsResult:
         """Upper and lower bit-risk-mile bounds for one pair.
 

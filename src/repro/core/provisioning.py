@@ -8,6 +8,15 @@ and a candidate edge ``(a, b)`` is scored with the standard via-edge
 composition ``r_via(i,j) = min over orientations of comp(i,a) + w_ab +
 comp(b,j)`` — exact arithmetic on near-optimal component paths.
 
+The greedy k-link search (Figure 10) is *incremental*: after a link is
+committed, the all-pairs component matrices are updated in place with
+the O(n²) vectorized edge-insertion relaxation ``d' = min(d, d[·,a] + w
++ d[b,·], d[·,b] + w + d[a,·])`` instead of re-running n Dijkstra
+sweeps.  The suffix components come from the engine's exact
+parametric-alpha solve (DESIGN.md section 9), so a k-link run costs one
+sweep set plus k cheap matrix updates — and still reproduces the
+per-iteration-rebuild link sequence bit-for-bit on the corpus networks.
+
 The candidate set follows the intent of the paper's footnote — keep only
 absent links that meaningfully cut the endpoints' route mileage, and
 drop impractical cross-country spans.  The paper's literal ">50%
@@ -20,10 +29,14 @@ available as a parameter.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..geo.distance import haversine_miles
+import numpy as np
+
+from ..engine import ProvisioningStats, get_engine, peek_engine
+from ..geo.distance import haversine_miles, pairwise_distance_matrix
 from ..risk.model import RiskModel
 from ..topology.interdomain import InterdomainTopology
 from ..topology.network import Network
@@ -33,10 +46,13 @@ __all__ = [
     "CandidateLink",
     "LinkRecommendation",
     "PeeringRecommendation",
+    "ProvisioningStats",
     "candidate_links",
     "ProvisioningAnalyzer",
     "best_new_peering",
 ]
+
+_INF = float("inf")
 
 #: Default candidate filter: a new link must cut the endpoints' route
 #: mileage by more than this fraction (see module docstring for why this
@@ -99,18 +115,101 @@ class PeeringRecommendation:
         return self.aggregate_lower_bound / self.baseline_lower_bound
 
 
+def _geo_model(network: Network) -> RiskModel:
+    """A uniform zero-risk model: enough to stand up an engine whose
+    geographic ``alpha == 0`` sweeps (the only ones candidate generation
+    consults) are model-independent."""
+    pop_ids = network.pop_ids()
+    share = 1.0 / len(pop_ids) if pop_ids else 0.0
+    zeros = {p: 0.0 for p in pop_ids}
+    return RiskModel({p: share for p in pop_ids}, zeros, dict(zeros))
+
+
+def _linked_mask(graph, pop_ids: Sequence[str]) -> np.ndarray:
+    index = {p: i for i, p in enumerate(pop_ids)}
+    linked = np.zeros((len(pop_ids), len(pop_ids)), dtype=bool)
+    for u in pop_ids:
+        i = index[u]
+        for v in graph.neighbors(u):
+            j = index.get(v)
+            if j is not None:
+                linked[i, j] = True
+    return linked
+
+
+def _geo_rows(engine, pop_ids: Sequence[str], perm: np.ndarray) -> np.ndarray:
+    """All-pairs geographic distances from cached ``alpha == 0`` sweeps
+    (``inf`` where unreachable), rows/columns in PoP order."""
+    engine.prefetch((s, 0.0) for s in perm.tolist())
+    geo = np.empty((len(pop_ids), len(pop_ids)), dtype=np.float64)
+    for i, source in enumerate(pop_ids):
+        geo[i] = np.asarray(engine.sweep(source, 0.0).dist)[perm]
+    return geo
+
+
+def _candidate_mask(
+    direct: np.ndarray,
+    current: np.ndarray,
+    linked: np.ndarray,
+    reduction_threshold: float,
+    max_length_miles: float,
+) -> np.ndarray:
+    """The Equation 4 candidate filter, vectorized.
+
+    Comparison expressions deliberately mirror the historical scalar
+    loop (``direct / current < 1 - threshold`` as a division, not a
+    cross-multiplication) so the admitted set is identical.
+    """
+    n = direct.shape[0]
+    finite = np.isfinite(current) & (current > 0.0)
+    ratio = np.full(direct.shape, _INF)
+    np.divide(direct, current, out=ratio, where=finite)
+    mask = np.triu(np.ones((n, n), dtype=bool), k=1)
+    mask &= ~linked
+    mask &= direct <= max_length_miles
+    mask &= finite
+    mask &= ratio < (1.0 - reduction_threshold)
+    return mask
+
+
+def _links_from_mask(
+    pop_ids: Sequence[str],
+    direct: np.ndarray,
+    current: np.ndarray,
+    mask: np.ndarray,
+) -> List[CandidateLink]:
+    rows, cols = np.nonzero(mask)
+    return [
+        CandidateLink(
+            pop_ids[i], pop_ids[j], float(direct[i, j]), float(current[i, j])
+        )
+        for i, j in zip(rows.tolist(), cols.tolist())
+    ]
+
+
 def candidate_links(
     network: Network,
     reduction_threshold: float = DEFAULT_REDUCTION_THRESHOLD,
     max_length_miles: float = DEFAULT_MAX_LENGTH_MILES,
+    *,
+    model: Optional[RiskModel] = None,
+    config=None,
 ) -> List[CandidateLink]:
     """The set ``E_C`` of Equation 4 for one network.
+
+    Current route mileage comes from the engine's cached geographic
+    (``alpha == 0``) sweeps — shared with every other query over the
+    same topology — and the direct-span matrix is one vectorized
+    haversine evaluation, so no standalone all-pairs Dijkstra runs here.
 
     Args:
         network: the network to augment.
         reduction_threshold: minimum fractional mileage reduction the new
             link must offer its endpoints (paper: 0.5).
         max_length_miles: hard cap on new-link length.
+        model: optional risk model used only if no engine exists yet for
+            this topology (geographic sweeps are model-independent).
+        config: optional engine tuning for a cold engine.
 
     Raises:
         ValueError: for a threshold outside [0, 1) or non-positive cap.
@@ -119,39 +218,43 @@ def candidate_links(
         raise ValueError("reduction_threshold must be in [0, 1)")
     if max_length_miles <= 0:
         raise ValueError("max_length_miles must be positive")
-    graph = network.distance_graph()
-    from ..graph.shortest_path import all_pairs_shortest_paths
-
-    sweeps = all_pairs_shortest_paths(graph)
     pops = network.pops()
-    out: List[CandidateLink] = []
-    for i, pop_a in enumerate(pops):
-        dist_map = sweeps[pop_a.pop_id][0]
-        for pop_b in pops[i + 1 :]:
-            if network.has_link(pop_a.pop_id, pop_b.pop_id):
-                continue
-            if pop_b.pop_id not in dist_map:
-                continue
-            direct = haversine_miles(pop_a.location, pop_b.location)
-            if direct > max_length_miles:
-                continue
-            current = dist_map[pop_b.pop_id]
-            if current <= 0.0:
-                continue
-            if direct / current < (1.0 - reduction_threshold):
-                out.append(
-                    CandidateLink(pop_a.pop_id, pop_b.pop_id, direct, current)
-                )
-    return out
+    if len(pops) < 2:
+        return []
+    graph = network.distance_graph()
+    # Ride an existing engine without touching its bound model; only
+    # bootstrap a fresh one (with the caller's model, or a zero-risk
+    # stand-in) when this topology has never been swept.
+    engine = peek_engine(graph)
+    if engine is None:
+        engine = get_engine(
+            graph, model if model is not None else _geo_model(network), config
+        )
+    pop_ids = [p.pop_id for p in pops]
+    perm = np.array([engine.index_of(p) for p in pop_ids], dtype=np.intp)
+    current = _geo_rows(engine, pop_ids, perm)
+    direct = pairwise_distance_matrix([p.location for p in pops])
+    linked = _linked_mask(graph, pop_ids)
+    mask = _candidate_mask(
+        direct, current, linked, reduction_threshold, max_length_miles
+    )
+    return _links_from_mask(pop_ids, direct, current, mask)
 
 
 class _ComponentMatrices:
     """All-pairs (mileage, risk-sum, impact) arrays for one topology.
 
-    Route components come from the shared routing engine, so the
-    per-source sweeps behind them are memoized: the baseline recompute
-    after a greedy link addition, and any other query against the same
-    topology, reuse them instead of re-running Dijkstra.
+    Route components come from the shared routing engine's O(n)
+    parent-tree extraction, so the per-source sweeps behind them are
+    memoized and never materialise per-target path objects.  The arrays
+    support three operations:
+
+    * ``candidate_total`` — via-edge scoring of one candidate link as a
+      rank-4 matrix product over preallocated (thread-local) buffers;
+    * ``commit_link`` — the exact in-place edge-insertion update, using
+      the engine's parametric-alpha suffix components;
+    * ``verify`` — cross-check against a from-scratch rebuild (the
+      ``exact=True`` knob of the greedy search).
     """
 
     def __init__(
@@ -159,67 +262,243 @@ class _ComponentMatrices:
         network: Network,
         model: RiskModel,
         config=None,
+        *,
+        with_candidates: bool = False,
+        stats: Optional[ProvisioningStats] = None,
     ) -> None:
-        import numpy as np
-
-        from ..engine import SweepStrategy, get_engine
-
         pop_ids = network.pop_ids()
         index = {pop_id: i for i, pop_id in enumerate(pop_ids)}
         n = len(pop_ids)
         engine = get_engine(network.distance_graph(), model, config)
         engine.prefetch_per_source(pop_ids)
+        perm = np.array(
+            [engine.index_of(p) for p in pop_ids], dtype=np.intp
+        )
         dist = np.zeros((n, n), dtype=np.float64)
         risk = np.zeros((n, n), dtype=np.float64)
-        for source in pop_ids:
-            i = index[source]
-            routes = engine.risk_routes_from(source, SweepStrategy.PER_SOURCE)
-            for target, route in routes.items():
-                j = index[target]
-                dist[i, j] = route.metrics.distance_miles
-                risk[i, j] = route.metrics.risk_sum
+        reached = np.zeros((n, n), dtype=bool)
+        row_alpha = np.empty(n, dtype=np.float64)
+        for i, source in enumerate(pop_ids):
+            alpha = engine.expected_impact(source)
+            row_alpha[i] = alpha
+            d, r, reach = engine.component_arrays(source, alpha)
+            dist[i] = d[perm]
+            risk[i] = r[perm]
+            reached[i] = reach[perm]
         shares = np.array([model.share(p) for p in pop_ids])
         self.pop_ids = pop_ids
         self.index = index
         self.dist = dist
         self.risk = risk
+        self.shares = shares
         self.alpha = shares[:, None] + shares[None, :]
         self.node_risk = np.array([model.node_risk(p) for p in pop_ids])
+        self.row_alpha = row_alpha
+        self.connected = bool(reached.all()) if n else True
+        self.model = model
+        self._config = config
         self._upper = np.triu_indices(n, k=1)
+        self._tril = np.tril_indices(n, k=0)
+        self._uniq_alphas, self._alpha_inv = np.unique(
+            row_alpha, return_inverse=True
+        )
+        self._local = threading.local()
+        self._with_candidates = with_candidates
+        if with_candidates:
+            self.direct = pairwise_distance_matrix(
+                [p.location for p in network.pops()]
+            )
+            self.linked = _linked_mask(network.distance_graph(), pop_ids)
+            self.geo = _geo_rows(engine, pop_ids, perm)
+        self._refresh_derived()
+        if stats is not None:
+            stats.matrix_builds += 1
+
+    # -- derived scoring state --------------------------------------------
+
+    def _refresh_derived(self) -> None:
         self._base = self.dist + self.alpha * self.risk
+        # Row/column-impact-weighted copies feeding the rank-4 product.
+        self._X = self.dist + self.shares[:, None] * self.risk
+        self._Y = self.dist + self.shares[None, :] * self.risk
+        # -inf on the lower triangle and diagonal makes full-matrix
+        # reductions count each unordered pair exactly once.
+        masked = self._base.copy()
+        masked[self._tril] = -_INF
+        self._base_masked = masked
+        self._baseline = float(self._base[self._upper].sum())
+
+    def _buffers(self):
+        """Preallocated scoring buffers, one set per scoring thread."""
+        n = len(self.pop_ids)
+        buf = getattr(self._local, "buf", None)
+        if buf is None or buf[2].shape[0] != n:
+            buf = (
+                np.empty((n, 4), dtype=np.float64),
+                np.empty((4, n), dtype=np.float64),
+                np.empty((n, n), dtype=np.float64),
+                np.empty((n, n), dtype=np.float64),
+                np.empty((n, n), dtype=np.float64),
+            )
+            self._local.buf = buf
+        return buf
+
+    # -- aggregates ---------------------------------------------------------
 
     def baseline_total(self) -> float:
         """Aggregate bit-risk miles over unordered pairs."""
-        return float(self._base[self._upper].sum())
+        return self._baseline
 
     def candidate_total(self, candidate: CandidateLink) -> float:
-        """Aggregate after adding ``candidate``, via-edge composition."""
-        import numpy as np
+        """Aggregate after adding ``candidate``, via-edge composition.
 
+        The combined via cost ``d_ia + w + d_bj + (s_i + s_j)(r_ia +
+        o_b + r_bj)`` separates into a rank-4 bilinear form, so each
+        orientation is one ``(n,4) @ (4,n)`` matrix product into a
+        preallocated buffer — no fresh n x n temporaries per candidate.
+        """
         a = self.index[candidate.pop_a]
         b = self.index[candidate.pop_b]
         w = candidate.length_miles
-        base = self._base
-        via_ab_d = self.dist[:, a][:, None] + w + self.dist[b, :][None, :]
-        via_ab_r = (
-            self.risk[:, a][:, None]
-            + self.node_risk[b]
-            + self.risk[b, :][None, :]
+        A, B, C1, C2, T = self._buffers()
+        s = self.shares
+        X, Y, R, nr = self._X, self._Y, self.risk, self.node_risk
+        np.add(X[:, a], w, out=A[:, 0])
+        A[:, 1] = 1.0
+        A[:, 2] = s
+        np.add(R[:, a], nr[b], out=A[:, 3])
+        B[0, :] = 1.0
+        B[1, :] = Y[b, :]
+        np.add(R[b, :], nr[b], out=B[2, :])
+        B[3, :] = s
+        np.matmul(A, B, out=C1)
+        np.add(X[:, b], w, out=A[:, 0])
+        np.add(R[:, b], nr[a], out=A[:, 3])
+        B[1, :] = Y[a, :]
+        np.add(R[a, :], nr[a], out=B[2, :])
+        np.matmul(A, B, out=C2)
+        np.minimum(C1, C2, out=T)
+        np.subtract(self._base_masked, T, out=T)
+        np.clip(T, 0.0, None, out=T)
+        return self._baseline - float(T.sum())
+
+    # -- candidate generation ----------------------------------------------
+
+    def candidate_list(
+        self,
+        reduction_threshold: float = DEFAULT_REDUCTION_THRESHOLD,
+        max_length_miles: float = DEFAULT_MAX_LENGTH_MILES,
+    ) -> List[CandidateLink]:
+        """Remaining candidates against the *current* (post-commit)
+        matrices — no re-sweep, the geographic matrix is maintained
+        in place by :meth:`commit_link`."""
+        if not self._with_candidates:
+            raise RuntimeError(
+                "matrices built without candidate state "
+                "(with_candidates=False)"
+            )
+        mask = _candidate_mask(
+            self.direct,
+            self.geo,
+            self.linked,
+            reduction_threshold,
+            max_length_miles,
         )
-        via_ba_d = self.dist[:, b][:, None] + w + self.dist[a, :][None, :]
-        via_ba_r = (
-            self.risk[:, b][:, None]
-            + self.node_risk[a]
-            + self.risk[a, :][None, :]
+        return _links_from_mask(self.pop_ids, self.direct, self.geo, mask)
+
+    # -- incremental maintenance -------------------------------------------
+
+    def commit_link(
+        self,
+        engine,
+        pop_a: str,
+        pop_b: str,
+        length_miles: float,
+        *,
+        stats: Optional[ProvisioningStats] = None,
+    ) -> None:
+        """Fold one committed edge ``(a, b)`` into the matrices in place.
+
+        ``engine`` must be bound to the *augmented* graph.  The
+        risk-weighted rows relax through exact alpha_i-optimal suffix
+        components from the engine's parametric solve; the geographic
+        matrix relaxes with the classic single-metric composition.  Both
+        are exact in value (DESIGN.md section 9) — only float-summation
+        association differs from a from-scratch rebuild.
+        """
+        a = self.index[pop_a]
+        b = self.index[pop_b]
+        w = float(length_miles)
+        n = len(self.pop_ids)
+        perm = np.array(
+            [engine.index_of(p) for p in self.pop_ids], dtype=np.intp
         )
-        best = np.minimum(
-            base,
-            np.minimum(
-                via_ab_d + self.alpha * via_ab_r,
-                via_ba_d + self.alpha * via_ba_r,
-            ),
+        Da, Ra, probed_a = engine.component_table(pop_a, self._uniq_alphas)
+        Db, Rb, probed_b = engine.component_table(pop_b, self._uniq_alphas)
+        inv = self._alpha_inv
+        SDa = Da[inv][:, perm]
+        SRa = Ra[inv][:, perm]
+        SDb = Db[inv][:, perm]
+        SRb = Rb[inv][:, perm]
+        nra = float(self.node_risk[a])
+        nrb = float(self.node_risk[b])
+        via1_d = self.dist[:, [a]] + w + SDb
+        via1_r = self.risk[:, [a]] + nrb + SRb
+        via2_d = self.dist[:, [b]] + w + SDa
+        via2_r = self.risk[:, [b]] + nra + SRa
+        row_alpha = self.row_alpha[:, None]
+        cost0 = self.dist + row_alpha * self.risk
+        cost1 = via1_d + row_alpha * via1_r
+        cost2 = via2_d + row_alpha * via2_r
+        use2 = cost2 < cost1
+        via_d = np.where(use2, via2_d, via1_d)
+        via_r = np.where(use2, via2_r, via1_r)
+        via_c = np.where(use2, cost2, cost1)
+        update = via_c < cost0
+        self.dist = np.where(update, via_d, self.dist)
+        self.risk = np.where(update, via_r, self.risk)
+        if self._with_candidates:
+            geo = self.geo
+            via_geo = np.minimum(
+                geo[:, [a]] + w + geo[[b], :],
+                geo[:, [b]] + w + geo[[a], :],
+            )
+            np.minimum(geo, via_geo, out=geo)
+            self.linked[a, b] = self.linked[b, a] = True
+        self._refresh_derived()
+        if stats is not None:
+            stats.matrix_updates += 1
+            stats.sweeps_run += probed_a + probed_b
+            stats.sweeps_avoided += max(0, n - (probed_a + probed_b))
+
+    def verify(
+        self,
+        network: Network,
+        *,
+        stats: Optional[ProvisioningStats] = None,
+    ) -> float:
+        """Cross-check against a from-scratch rebuild of ``network``.
+
+        Adopts the rebuilt risk-weighted matrices (so verification also
+        re-anchors any accumulated float drift) and returns the maximum
+        absolute element-wise deviation observed.
+        """
+        fresh = _ComponentMatrices(
+            network, self.model, self._config, stats=stats
         )
-        return float(best[self._upper].sum())
+        deviation = max(
+            float(np.abs(self.dist - fresh.dist).max(initial=0.0)),
+            float(np.abs(self.risk - fresh.risk).max(initial=0.0)),
+        )
+        self.dist = fresh.dist
+        self.risk = fresh.risk
+        self._refresh_derived()
+        if stats is not None:
+            stats.verifications += 1
+            stats.max_verify_deviation = max(
+                stats.max_verify_deviation, deviation
+            )
+        return deviation
 
 
 class ProvisioningAnalyzer:
@@ -232,6 +511,10 @@ class ProvisioningAnalyzer:
             a pool-enabled config parallelises both the component-matrix
             sweeps and candidate scoring (threads — the scoring inner
             loop is numpy matrix arithmetic, which releases the GIL).
+
+    ``stats`` accumulates :class:`ProvisioningStats` counters across
+    every query served by this analyzer (sweeps avoided by incremental
+    updates, matrices built, candidates scored, verifications run).
     """
 
     def __init__(
@@ -240,12 +523,16 @@ class ProvisioningAnalyzer:
         self.network = network
         self.model = model
         self.config = config
+        self.stats = ProvisioningStats()
 
     def aggregate_bit_risk(self, working: Optional[Network] = None) -> float:
         """Total min bit-risk miles over all unordered PoP pairs (the
         objective of Equation 4)."""
         return _ComponentMatrices(
-            working or self.network, self.model, config=self.config
+            working or self.network,
+            self.model,
+            config=self.config,
+            stats=self.stats,
         ).baseline_total()
 
     def _score_candidates(
@@ -253,6 +540,7 @@ class ProvisioningAnalyzer:
         matrices: _ComponentMatrices,
         candidates: Sequence[CandidateLink],
     ) -> List[float]:
+        self.stats.candidates_scored += len(candidates)
         if (
             self.config is not None
             and self.config.parallel
@@ -284,10 +572,12 @@ class ProvisioningAnalyzer:
             top: truncate the ranking (None = all).
         """
         if candidates is None:
-            candidates = candidate_links(self.network)
+            candidates = candidate_links(
+                self.network, model=self.model, config=self.config
+            )
         candidates = list(candidates)
         matrices = _ComponentMatrices(
-            self.network, self.model, config=self.config
+            self.network, self.model, config=self.config, stats=self.stats
         )
         baseline = matrices.baseline_total()
         totals = self._score_candidates(matrices, candidates)
@@ -309,7 +599,14 @@ class ProvisioningAnalyzer:
         ranked = self.rank_candidates(top=1)
         return ranked[0] if ranked else None
 
-    def greedy_links(self, count: int) -> List[LinkRecommendation]:
+    def greedy_links(
+        self,
+        count: int,
+        *,
+        incremental: bool = True,
+        exact: bool = False,
+        verify_every: int = 1,
+    ) -> List[LinkRecommendation]:
         """Add ``count`` links greedily (Section 6.3's k-link extension,
         the computation behind Figure 10).
 
@@ -317,19 +614,87 @@ class ProvisioningAnalyzer:
         network's aggregate, so ``fraction_of_baseline`` decays as links
         accumulate.
 
+        The component matrices are built once and updated in place per
+        committed link (see :meth:`_ComponentMatrices.commit_link`);
+        pass ``incremental=False`` for the historical
+        rebuild-per-iteration loop (also the automatic fallback for
+        disconnected topologies, where 0-filled unreachable entries make
+        the in-place relaxation unsound).  With ``exact=True`` the
+        incremental matrices are re-verified against a from-scratch
+        rebuild every ``verify_every`` insertions.
+
         Raises:
-            ValueError: for a non-positive count.
+            ValueError: for a non-positive count or verify interval.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
+        if verify_every < 1:
+            raise ValueError("verify_every must be >= 1")
         working = self.network.copy()
+        if not incremental:
+            return self._greedy_rebuild(count, working)
+        matrices = _ComponentMatrices(
+            working,
+            self.model,
+            config=self.config,
+            with_candidates=True,
+            stats=self.stats,
+        )
+        if not matrices.connected:
+            return self._greedy_rebuild(count, working)
+        original = matrices.baseline_total()
+        out: List[LinkRecommendation] = []
+        for step in range(1, count + 1):
+            candidates = matrices.candidate_list()
+            if not candidates:
+                break
+            totals = self._score_candidates(matrices, candidates)
+            best_i = min(
+                range(len(candidates)),
+                key=lambda i: (
+                    totals[i],
+                    candidates[i].pop_a,
+                    candidates[i].pop_b,
+                ),
+            )
+            choice = candidates[best_i]
+            link = working.add_link(choice.pop_a, choice.pop_b)
+            engine = get_engine(
+                working.distance_graph(), self.model, self.config
+            )
+            matrices.commit_link(
+                engine,
+                choice.pop_a,
+                choice.pop_b,
+                link.length_miles,
+                stats=self.stats,
+            )
+            if exact and step % verify_every == 0:
+                matrices.verify(working, stats=self.stats)
+            out.append(
+                LinkRecommendation(
+                    candidate=choice,
+                    aggregate_bit_risk=matrices.baseline_total(),
+                    baseline_bit_risk=original,
+                )
+            )
+        return out
+
+    def _greedy_rebuild(
+        self, count: int, working: Network
+    ) -> List[LinkRecommendation]:
+        """The historical greedy loop: full candidate regeneration and
+        component-matrix rebuild every iteration."""
         original = self.aggregate_bit_risk(working)
         out: List[LinkRecommendation] = []
         for _ in range(count):
-            candidates = candidate_links(working)
+            candidates = candidate_links(
+                working, model=self.model, config=self.config
+            )
             if not candidates:
                 break
             analyzer = ProvisioningAnalyzer(working, self.model, self.config)
+            analyzer.stats = self.stats
             best = analyzer.rank_candidates(candidates, top=1)
             if not best:
                 break
@@ -351,12 +716,18 @@ def best_new_peering(
     model: RiskModel,
     regional_name: str,
     tier1_only: bool = False,
+    *,
+    router: Optional[InterdomainRouter] = None,
 ) -> Optional[PeeringRecommendation]:
     """The best new peering for one regional network (Figure 11).
 
     Candidate peers are networks with co-located PoPs and no existing
     relationship; each is scored by the regional's aggregate lower-bound
-    bit-risk miles with the peering added.
+    bit-risk miles with the peering added.  Instead of re-sweeping the
+    merged graph once per candidate peer, every peer is scored via-edge
+    against one shared baseline component set: the candidate peering's
+    co-location edges relax each (source, destination) value through the
+    engine's cached per-endpoint component arrays.
 
     Args:
         topology: the merged interdomain topology.
@@ -365,6 +736,9 @@ def best_new_peering(
         tier1_only: restrict candidates to tier-1 providers (new transit
             rather than mutual regional peering — the relationship type
             Figure 11's recommendations are all drawn from).
+        router: optional pre-built router over the merge (no extra
+            peerings); pass one when scoring many regionals to share the
+            merged graph build.
 
     Returns None when the network has no candidate peers.
 
@@ -381,15 +755,78 @@ def best_new_peering(
     if not candidates:
         return None
     destinations = regional_pair_population(topology)
-    baseline = InterdomainRouter(topology, model).aggregate_lower_bound(
-        regional_name, destinations
+    if router is None:
+        router = InterdomainRouter(topology, model)
+    engine = router.engine
+    sources = list(topology.networks[regional_name].pop_ids())
+    didx = np.array([engine.index_of(t) for t in destinations], dtype=np.intp)
+    dest_names = np.array(destinations)
+    dest_share = np.array([model.share(t) for t in destinations])
+    engine.prefetch_per_source(sources)
+    base_rows = np.empty((len(sources), len(destinations)), dtype=np.float64)
+    prefix: Dict[str, tuple] = {}
+    for si, source in enumerate(sources):
+        d, r, reach = engine.component_arrays(
+            source, engine.expected_impact(source)
+        )
+        prefix[source] = (d, r, reach)
+        values = d[didx] + (model.share(source) + dest_share) * r[didx]
+        values = np.where(reach[didx], values, _INF)
+        values[dest_names == source] = _INF
+        base_rows[si] = values
+    baseline = float(
+        np.where(np.isfinite(base_rows), base_rows, 0.0).sum()
     )
+    by_peer: Dict[str, list] = {}
+    for peering in topology.candidate_peerings(regional_name):
+        by_peer.setdefault(peering.network_b, []).append(peering)
     best: Optional[PeeringRecommendation] = None
     for peer in candidates:
-        router = InterdomainRouter(
-            topology, model, extra_peerings=[(regional_name, peer)]
+        edges = by_peer.get(peer, [])
+        if not edges:
+            continue
+        a_idx = np.array(
+            [engine.index_of(p.pop_a) for p in edges], dtype=np.intp
         )
-        total = router.aggregate_lower_bound(regional_name, destinations)
+        b_idx = np.array(
+            [engine.index_of(p.pop_b) for p in edges], dtype=np.intp
+        )
+        width = np.array([p.distance_miles for p in edges])[:, None]
+        risk_a = np.array([model.node_risk(p.pop_a) for p in edges])[:, None]
+        risk_b = np.array([model.node_risk(p.pop_b) for p in edges])[:, None]
+        suffix_db = np.empty((len(edges), len(destinations)))
+        suffix_rb = np.empty_like(suffix_db)
+        suffix_da = np.empty_like(suffix_db)
+        suffix_ra = np.empty_like(suffix_db)
+        for e, peering in enumerate(edges):
+            d, r, reach = engine.component_arrays(
+                peering.pop_b, engine.expected_impact(peering.pop_b)
+            )
+            suffix_db[e] = np.where(reach[didx], d[didx], _INF)
+            suffix_rb[e] = r[didx]
+            d, r, reach = engine.component_arrays(
+                peering.pop_a, engine.expected_impact(peering.pop_a)
+            )
+            suffix_da[e] = np.where(reach[didx], d[didx], _INF)
+            suffix_ra[e] = r[didx]
+        total = 0.0
+        for si, source in enumerate(sources):
+            d, r, reach = prefix[source]
+            pre_da = np.where(reach[a_idx], d[a_idx], _INF)[:, None]
+            pre_ra = r[a_idx][:, None]
+            pre_db = np.where(reach[b_idx], d[b_idx], _INF)[:, None]
+            pre_rb = r[b_idx][:, None]
+            alpha_pair = (model.share(source) + dest_share)[None, :]
+            via_enter = (pre_da + width + suffix_db) + alpha_pair * (
+                pre_ra + risk_b + suffix_rb
+            )
+            via_return = (pre_db + width + suffix_da) + alpha_pair * (
+                pre_rb + risk_a + suffix_ra
+            )
+            via = np.minimum(via_enter.min(axis=0), via_return.min(axis=0))
+            row = np.minimum(base_rows[si], via)
+            row = np.where(dest_names == source, _INF, row)
+            total += float(np.where(np.isfinite(row), row, 0.0).sum())
         rec = PeeringRecommendation(
             network=regional_name,
             peer=peer,

@@ -12,7 +12,17 @@ point; this package is the machinery underneath it.
 from ..core.strategy import SweepStrategy, resolve_strategy
 from .arrays import CsrGraph
 from .cache import ResultCache, SweepCache, alpha_bucket
-from .engine import RoutingEngine, clear_engine_registry, get_engine
+from .components import (
+    ProvisioningStats,
+    parametric_component_table,
+    sweep_component_arrays,
+)
+from .engine import (
+    RoutingEngine,
+    clear_engine_registry,
+    get_engine,
+    peek_engine,
+)
 from .fingerprint import graph_fingerprint, risk_fingerprint
 from .parallel import EngineConfig, sweep_many
 from .sweep import SweepResult, csr_sweep
@@ -23,7 +33,11 @@ __all__ = [
     "SweepStrategy",
     "resolve_strategy",
     "get_engine",
+    "peek_engine",
     "clear_engine_registry",
+    "ProvisioningStats",
+    "sweep_component_arrays",
+    "parametric_component_table",
     "graph_fingerprint",
     "risk_fingerprint",
     "CsrGraph",

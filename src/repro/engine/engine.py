@@ -45,7 +45,12 @@ from .fingerprint import graph_fingerprint, risk_fingerprint
 from .parallel import EngineConfig, sweep_many
 from .sweep import SweepResult, csr_sweep
 
-__all__ = ["RoutingEngine", "get_engine", "clear_engine_registry"]
+__all__ = [
+    "RoutingEngine",
+    "get_engine",
+    "peek_engine",
+    "clear_engine_registry",
+]
 
 _INF = float("inf")
 
@@ -237,6 +242,43 @@ class RoutingEngine:
             s = self._idx(name)
             tasks.append((s, self._shares[s] + self._mean_share))
         return self.prefetch(tasks)
+
+    # -- component extraction (provisioning reuse hooks) -------------------
+
+    def component_arrays(self, source: str, alpha: float):
+        """Per-target (mileage, risk, reached) arrays of one sweep.
+
+        The O(n) parent-tree extraction of
+        :func:`repro.engine.components.sweep_component_arrays`, memoized
+        on the result cache (and therefore dropped whenever the risk
+        field changes).  Returned arrays are shared — treat them as
+        read-only.
+        """
+        s = self._idx(source)
+        key = (
+            "components",
+            s,
+            alpha_bucket(alpha, self._config.alpha_resolution),
+        )
+        cached = self._results.get(key)
+        if cached is not None:
+            return cached
+        from .components import sweep_component_arrays
+
+        result = sweep_component_arrays(
+            self._sweep_idx(s, alpha), self._csr, self._risk
+        )
+        self._results.put(key, result)
+        return result
+
+    def component_table(self, source: str, alphas):
+        """Exact per-alpha component vectors from ``source`` over a
+        sorted, distinct alpha vector — the parametric bisection of
+        :func:`repro.engine.components.parametric_component_table`,
+        running over this engine's cached sweeps."""
+        from .components import parametric_component_table
+
+        return parametric_component_table(self, source, alphas)
 
     # -- route assembly ----------------------------------------------------
 
@@ -535,6 +577,22 @@ def get_engine(
         engine.update_model(model)
         if config is not None:
             engine.configure(config)
+    return engine
+
+
+def peek_engine(graph: Graph[str]) -> Optional[RoutingEngine]:
+    """The registered engine for ``graph``, if any — *without* swapping
+    its bound model.
+
+    Model-independent consumers (geographic ``alpha == 0`` sweeps, e.g.
+    candidate-link generation) use this to ride an existing engine's
+    warm caches without invalidating the risk-weighted sweeps its real
+    model owns.
+    """
+    fingerprint = graph_fingerprint(graph)
+    engine = _REGISTRY.get(fingerprint)
+    if engine is not None:
+        _REGISTRY.move_to_end(fingerprint)
     return engine
 
 

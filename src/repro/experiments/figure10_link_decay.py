@@ -18,19 +18,26 @@ MAX_LINKS = 8
 
 
 @register("figure10")
-def run(networks: Optional[Sequence[str]] = None) -> ExperimentResult:
+def run(
+    networks: Optional[Sequence[str]] = None, exact: bool = False
+) -> ExperimentResult:
     """Regenerate the Figure 10 decay curves.
 
     Args:
         networks: restrict to a subset of tier-1 names (all by default).
+        exact: re-verify the incremental component matrices against a
+            from-scratch rebuild after every committed link.
     """
     wanted = set(networks) if networks else None
     rows = []
+    sweeps_run = sweeps_avoided = 0
     for network in tier1_networks():
         if wanted is not None and network.name not in wanted:
             continue
         analyzer = ProvisioningAnalyzer(network, RiskModel.for_network(network))
-        additions = analyzer.greedy_links(MAX_LINKS)
+        additions = analyzer.greedy_links(MAX_LINKS, exact=exact)
+        sweeps_run += analyzer.stats.sweeps_run
+        sweeps_avoided += analyzer.stats.sweeps_avoided
         row = {"network": network.name, "links_available": len(additions)}
         for k, rec in enumerate(additions, start=1):
             row[f"frac_after_{k}"] = rec.fraction_of_baseline
@@ -41,6 +48,8 @@ def run(networks: Optional[Sequence[str]] = None) -> ExperimentResult:
         rows=rows,
         notes=(
             "Expected shape: monotone decay with diminishing returns; "
-            "densely connected Level3 improves least per link."
+            "densely connected Level3 improves least per link. "
+            f"Incremental updates ran {sweeps_run} suffix sweeps and "
+            f"avoided {sweeps_avoided} rebuild sweeps."
         ),
     )

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from ..core.interdomain import InterdomainRouter
 from ..core.provisioning import best_new_peering
 from ..risk.model import RiskModel
 from ..topology.interdomain import InterdomainTopology
@@ -37,10 +38,15 @@ def run(tier1_only: bool = True) -> ExperimentResult:
             peerings instead).
     """
     topology, model = _shared_state()
+    # One router over the plain merge serves every regional's search:
+    # the via-edge scorer never mutates the graph, so baseline sweeps
+    # accumulate in a single shared engine cache.
+    router = InterdomainRouter(topology, model)
     rows = []
     for network in regional_networks():
         rec = best_new_peering(
-            topology, model, network.name, tier1_only=tier1_only
+            topology, model, network.name, tier1_only=tier1_only,
+            router=router,
         )
         if rec is None:
             rows.append(

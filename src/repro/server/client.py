@@ -117,9 +117,22 @@ class RiskRouteClient:
             strategy=strategy,
         )
 
-    def provision(self, k: int = 1, top: Optional[int] = None) -> dict:
-        """Equation 4 link recommendations."""
-        return self.call("provision", k=k, top=top)
+    def provision(
+        self,
+        k: int = 1,
+        top: Optional[int] = None,
+        exact: bool = False,
+        verify_every: int = 1,
+    ) -> dict:
+        """Equation 4 link recommendations.
+
+        ``exact=True`` makes the greedy search re-verify its incremental
+        component matrices against a from-scratch rebuild every
+        ``verify_every`` insertions.
+        """
+        return self.call(
+            "provision", k=k, top=top, exact=exact, verify_every=verify_every
+        )
 
     def update_forecast(
         self, risk: Dict[str, float], default: float = 0.0

@@ -317,7 +317,9 @@ class RiskRouteServer:
             self.stats.replies += 1
         else:
             self.stats.errors += 1
-        self.stats.observe_latency(loop.time() - item.arrived)
+        self.stats.observe_latency(
+            loop.time() - item.arrived, op=item.request.op
+        )
 
     @staticmethod
     def _write(writer: asyncio.StreamWriter, data: bytes) -> None:

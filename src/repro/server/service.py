@@ -72,7 +72,9 @@ class QueryService:
         """The (source index, alpha) sweeps one request will consult.
 
         Only single-pair ops contribute: ``ratios``/``provision`` carry
-        their own batched prefetch inside the engine.  Unknown nodes or
+        their own batched prefetch inside the engine (their heavier
+        service times land in the per-op latency buckets of
+        :class:`~repro.server.stats.ServerStats`).  Unknown nodes or
         bad params yield no demands — the dispatch step reports them.
         """
         op, params = request.op, request.params
@@ -196,12 +198,27 @@ class QueryService:
         if op == "provision":
             k = params.get("k", 1)
             top = params.get("top")
+            exact = params.get("exact", False)
+            verify_every = params.get("verify_every", 1)
             if not isinstance(k, int):
                 raise ProtocolError(
                     "bad_request", f"param 'k' must be an integer, got {k!r}"
                 )
+            if not isinstance(exact, bool):
+                raise ProtocolError(
+                    "bad_request",
+                    f"param 'exact' must be a boolean, got {exact!r}",
+                )
+            if not isinstance(verify_every, int):
+                raise ProtocolError(
+                    "bad_request",
+                    f"param 'verify_every' must be an integer, "
+                    f"got {verify_every!r}",
+                )
             try:
-                recs = self.session.provision(k=k, top=top)
+                recs = self.session.provision(
+                    k=k, top=top, exact=exact, verify_every=verify_every
+                )
             except ValueError as exc:
                 raise ProtocolError("bad_request", str(exc))
             return {"recommendations": [recommendation_to_dict(r) for r in recs]}

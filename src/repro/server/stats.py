@@ -9,7 +9,7 @@ on snapshot, which is a control op and therefore never races a batch.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque
+from typing import Deque, Dict, Optional
 
 __all__ = ["ServerStats"]
 
@@ -44,21 +44,41 @@ class ServerStats:
         self.sweeps_computed = 0   # cold sweeps actually run
         self.forecast_swaps = 0    # update_forecast calls that invalidated
         self.queue_high_water = 0  # max pending depth observed
+        self._latency_window = latency_window
         self._latencies: Deque[float] = deque(maxlen=latency_window)
+        # Per-op latency windows, created on first observation.  Batched
+        # ops (``provision``, ``ratios``) are far heavier than the
+        # single-pair ones, so one blended histogram would hide both.
+        self._op_latencies: Dict[str, Deque[float]] = {}
 
     def observe_queue_depth(self, depth: int) -> None:
         """Track the high-water mark of the pending queue."""
         if depth > self.queue_high_water:
             self.queue_high_water = depth
 
-    def observe_latency(self, seconds: float) -> None:
-        """Record one request's arrival-to-reply service time."""
+    def observe_latency(self, seconds: float, op: Optional[str] = None) -> None:
+        """Record one request's arrival-to-reply service time, bucketed
+        under ``op`` as well when one is given."""
         self._latencies.append(seconds)
+        if op is not None:
+            window = self._op_latencies.get(op)
+            if window is None:
+                window = deque(maxlen=self._latency_window)
+                self._op_latencies[op] = window
+            window.append(seconds)
 
     def snapshot(self, queue_depth: int, uptime: float) -> dict:
         """The ``stats`` reply payload (server half; the daemon merges
         engine cache counters and the current risk fingerprint in)."""
         window = sorted(self._latencies)
+        by_op = {
+            op: {
+                "count": len(samples),
+                "p50_ms": _percentile(sorted(samples), 0.50) * 1e3,
+                "p99_ms": _percentile(sorted(samples), 0.99) * 1e3,
+            }
+            for op, samples in sorted(self._op_latencies.items())
+        }
         return {
             "connections": self.connections,
             "requests": self.requests,
@@ -75,5 +95,6 @@ class ServerStats:
             "queue_high_water": self.queue_high_water,
             "p50_ms": _percentile(window, 0.50) * 1e3,
             "p99_ms": _percentile(window, 0.99) * 1e3,
+            "latency_by_op": by_op,
             "uptime_s": uptime,
         }

@@ -205,17 +205,21 @@ class RoutingSession:
         k: int = 1,
         candidates: Optional[Sequence] = None,
         top: Optional[int] = None,
+        exact: bool = False,
+        verify_every: int = 1,
     ) -> List:
         """Equation 4 link recommendations for the session's network.
 
         ``k == 1`` ranks the candidate set and returns the ``top``
         recommendations (all by default); ``k > 1`` runs the greedy
-        k-link extension (Figure 10) and returns one recommendation per
-        added link.
+        k-link extension (Figure 10) — incremental matrix updates per
+        committed link, one recommendation per added link.  With
+        ``exact=True`` the incremental matrices are re-verified against
+        a from-scratch rebuild every ``verify_every`` insertions.
 
         Raises:
             ValueError: in graph mode (candidate generation needs PoP
-                coordinates) or for ``k < 1``.
+                coordinates), for ``k < 1``, or ``verify_every < 1``.
         """
         if self.network is None:
             raise ValueError(
@@ -230,4 +234,6 @@ class RoutingSession:
         )
         if k == 1:
             return analyzer.rank_candidates(candidates=candidates, top=top)
-        return analyzer.greedy_links(k)
+        return analyzer.greedy_links(
+            k, exact=exact, verify_every=verify_every
+        )

@@ -88,6 +88,23 @@ class TestBasicOps:
         for rec in recs:
             assert rec["fraction_of_baseline"] <= 1.0 + 1e-12
 
+    def test_provision_exact_and_latency_bucket(self, diamond_server):
+        _, host, port = diamond_server
+        with RiskRouteClient(host, port) as client:
+            client.provision(k=2, exact=True)
+            stats = client.stats()
+        by_op = stats["latency_by_op"]
+        assert by_op["provision"]["count"] == 1
+        assert by_op["provision"]["p50_ms"] >= 0.0
+        assert by_op["provision"]["p99_ms"] >= by_op["provision"]["p50_ms"]
+
+    def test_provision_rejects_bad_exact_param(self, diamond_server):
+        _, host, port = diamond_server
+        with RiskRouteClient(host, port) as client:
+            with pytest.raises(ServerError) as err:
+                client.call("provision", k=2, exact="yes")
+        assert err.value.code == "bad_request"
+
     def test_health_and_stats(self, diamond_server):
         _, host, port = diamond_server
         with RiskRouteClient(host, port) as client:
@@ -542,3 +559,34 @@ class TestCoalescingQueue:
             assert len(await queue.next_batch()) == 2
 
         asyncio.run(scenario())
+
+
+class TestServerStatsUnit:
+    """Unit tests for the per-op latency windows."""
+
+    def test_latency_bucketed_by_op(self):
+        from repro.server.stats import ServerStats
+
+        stats = ServerStats(latency_window=4)
+        stats.observe_latency(0.010, op="route")
+        stats.observe_latency(0.030, op="route")
+        stats.observe_latency(0.500, op="provision")
+        stats.observe_latency(0.001)  # no op: blended window only
+        snap = stats.snapshot(queue_depth=0, uptime=1.0)
+        by_op = snap["latency_by_op"]
+        assert set(by_op) == {"provision", "route"}
+        assert by_op["route"]["count"] == 2
+        assert by_op["provision"]["count"] == 1
+        assert by_op["provision"]["p50_ms"] == pytest.approx(500.0)
+        assert by_op["route"]["p50_ms"] == pytest.approx(30.0)
+        # The blended histogram still sees every sample.
+        assert snap["p99_ms"] == pytest.approx(500.0)
+
+    def test_op_windows_are_bounded(self):
+        from repro.server.stats import ServerStats
+
+        stats = ServerStats(latency_window=3)
+        for i in range(10):
+            stats.observe_latency(float(i), op="ratios")
+        snap = stats.snapshot(queue_depth=0, uptime=1.0)
+        assert snap["latency_by_op"]["ratios"]["count"] == 3

@@ -153,6 +153,11 @@ def build_parser() -> argparse.ArgumentParser:
     query_p.add_argument("--host", default="127.0.0.1")
     query_p.add_argument("--port", type=int, default=4174)
     query_p.add_argument("--timeout", type=float, default=30.0)
+    query_p.add_argument(
+        "--retries", type=int, default=0,
+        help="retry transient failures (overloaded/draining/drops) up to "
+        "this many times with backoff (default: 0)",
+    )
     qsub = query_p.add_subparsers(dest="query_op", required=True)
     q_route = qsub.add_parser("route", help="RiskRoute path for one pair")
     q_route.add_argument("source", help='PoP id, e.g. "Level3:Houston, TX"')
@@ -376,10 +381,19 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    from .server import RiskRouteClient, ServerError
+    import socket
 
+    from .server import RetryPolicy, RiskRouteClient, ServerError
+
+    retry = (
+        RetryPolicy(attempts=args.retries + 1, budget=max(args.timeout, 1.0))
+        if args.retries > 0
+        else None
+    )
     try:
-        client = RiskRouteClient(args.host, args.port, timeout=args.timeout)
+        client = RiskRouteClient(
+            args.host, args.port, timeout=args.timeout, retry=retry
+        )
     except OSError as exc:
         print(f"cannot connect to {args.host}:{args.port}: {exc}",
               file=sys.stderr)
@@ -413,6 +427,19 @@ def _cmd_query(args) -> int:
             print(json.dumps(result, indent=2, sort_keys=True))
     except ServerError as exc:
         print(f"server error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except socket.timeout:
+        print(
+            f"timed out after {args.timeout:g}s waiting for "
+            f"{args.host}:{args.port}",
+            file=sys.stderr,
+        )
+        return 1
+    except ConnectionError as exc:
+        print(
+            f"connection to {args.host}:{args.port} failed: {exc}",
+            file=sys.stderr,
+        )
         return 1
     except (OSError, ValueError) as exc:
         print(str(exc), file=sys.stderr)

@@ -19,7 +19,23 @@ Service semantics, not a toy loop:
   and post-advisory risk;
 * **graceful shutdown** draining admitted work;
 * a ``stats`` op exposing :class:`~repro.server.stats.ServerStats`
-  plus engine cache counters.
+  plus engine cache counters;
+* **worker supervision** — a crashed worker is restarted, its in-flight
+  batch failed with typed ``internal`` errors, and ``health`` reports
+  ``degraded`` (with the reason) until a batch completes cleanly;
+* **transactional forecast swaps** — a failed ``update_forecast``
+  rolls back to the prior risk field and fingerprint, and idempotency
+  tokens make retried swaps apply at most once;
+* a seedable **fault-injection plane**
+  (:class:`~repro.server.faults.FaultPlane`) driving the chaos tests —
+  connection resets, torn/delayed writes, worker crashes, executor
+  stalls, forced swap failures — off in production.
+
+The blocking :class:`~repro.server.client.RiskRouteClient` self-heals:
+transport failures mark it closed for reconnect on the next call, and
+an optional :class:`~repro.server.client.RetryPolicy` (exponential
+backoff + jitter + budget) retries overloads, drains and drops for
+reads and token-guarded writes.
 
 Run one from the CLI (``riskroute serve Level3``), in-process
 (:class:`ServerThread`), or under your own loop
@@ -27,9 +43,10 @@ Run one from the CLI (``riskroute serve Level3``), in-process
 :class:`~repro.server.client.RiskRouteClient` or ``riskroute query``.
 """
 
-from .client import RiskRouteClient, ServerError
+from .client import RETRY_SAFE_OPS, RetryPolicy, RiskRouteClient, ServerError
 from .coalesce import CoalescingQueue, PendingRequest
 from .daemon import RiskRouteServer, ServerConfig, ServerThread
+from .faults import FAULT_SITES, FaultPlane, FaultRule, InjectedFault
 from .protocol import (
     CONTROL_OPS,
     ERROR_CODES,
@@ -50,7 +67,13 @@ __all__ = [
     "ServerConfig",
     "ServerThread",
     "RiskRouteClient",
+    "RetryPolicy",
+    "RETRY_SAFE_OPS",
     "ServerError",
+    "FaultPlane",
+    "FaultRule",
+    "InjectedFault",
+    "FAULT_SITES",
     "QueryService",
     "ServerStats",
     "CoalescingQueue",

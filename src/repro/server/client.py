@@ -1,4 +1,4 @@
-"""Blocking stdlib client for the RiskRoute daemon.
+"""Blocking stdlib client for the RiskRoute daemon, with self-healing.
 
 One socket, one request in flight at a time — the shape tests, examples
 and operator scripts want.  Error replies raise :class:`ServerError`
@@ -10,15 +10,41 @@ caller can tell which side of a forecast swap an answer came from::
         pair = client.pair("Level3:Houston, TX", "Level3:Boston, MA")
         client.update_forecast({"Level3:Houston, TX": 0.4})
         after = client.pair("Level3:Houston, TX", "Level3:Boston, MA")
+
+The client heals itself: any transport failure (dropped connection,
+truncated or garbage reply line, timeout) tears the socket down and
+marks it for reconnect, so the next call starts on a fresh connection
+instead of reading a desynchronized stream.  With a
+:class:`RetryPolicy` the healing is automatic::
+
+    client = RiskRouteClient(host, port, retry=RetryPolicy())
+    client.route(src, dst)        # survives overloads, drops, restarts
+
+Retries respect exponential backoff with jitter and a total time
+budget, and only ever re-send what is safe: read ops
+(``route``/``pair``/``ratios``/``provision``/``stats``/``health``)
+always; ``update_forecast`` only when guarded by an idempotency token
+(one is generated automatically under a retry policy), which the server
+uses to apply a retried swap at most once.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
-from typing import Any, Dict, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
 
-__all__ = ["RiskRouteClient", "ServerError"]
+__all__ = ["RiskRouteClient", "RetryPolicy", "ServerError"]
+
+#: Ops that are safe to blindly re-send after a connection drop (pure
+#: reads of engine/server state).  ``update_forecast`` joins them only
+#: when token-guarded.
+RETRY_SAFE_OPS = frozenset(
+    {"route", "pair", "ratios", "provision", "stats", "health"}
+)
 
 
 class ServerError(RuntimeError):
@@ -30,33 +56,162 @@ class ServerError(RuntimeError):
         self.message = message
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries transient failures.
+
+    Args:
+        attempts: total tries per call (1 = no retry).
+        base_delay: backoff before the first retry, in seconds.
+        multiplier: exponential backoff factor per retry.
+        max_delay: cap on a single backoff sleep.
+        jitter: fraction of each delay randomized away (0 = none,
+            0.5 = sleep somewhere in [0.5, 1.0] x delay).
+        budget: total seconds a call may spend across all retries;
+            exhausting it re-raises the last failure immediately.
+        retry_codes: server error codes worth retrying — rejections
+            issued *before* execution, so they are safe for every op.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.5
+    budget: float = 30.0
+    retry_codes: Tuple[str, ...] = ("overloaded", "shutting_down")
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.budget <= 0:
+            raise ValueError("delays must be >= 0 and budget > 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
+
+    def delay(self, retry_index: int, rng: random.Random) -> float:
+        """The jittered backoff before retry ``retry_index`` (0-based)."""
+        raw = min(
+            self.max_delay, self.base_delay * self.multiplier ** retry_index
+        )
+        return raw * (1.0 - self.jitter * rng.random())
+
+
 class RiskRouteClient:
     """Blocking NDJSON client; safe from exactly one thread."""
 
     def __init__(
         self, host: str = "127.0.0.1", port: int = 4174,
         timeout: Optional[float] = 30.0,
+        retry: Optional[RetryPolicy] = None,
+        rng: Optional[random.Random] = None,
     ) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retry = retry
+        self._rng = rng if rng is not None else random.Random()
+        self._sock: Optional[socket.socket] = None
+        self._file = None
         self._next_id = 0
         #: Risk fingerprint tag of the last successful routed reply.
         self.last_fingerprint: Optional[str] = None
+        #: Connections re-established after the first (observability).
+        self.reconnects = 0
+        # Eager connect: a refused connection fails here, not on the
+        # first call.
+        self._connect()
 
-    # -- plumbing ----------------------------------------------------------
+    # -- connection plumbing -----------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True when the next call must (re)connect first."""
+        return self._sock is None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+
+    def _teardown(self) -> None:
+        """Drop the socket; the next call reconnects from scratch."""
+        file, sock = self._file, self._sock
+        self._file = None
+        self._sock = None
+        for resource in (file, sock):
+            if resource is None:
+                continue
+            try:
+                resource.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        self._teardown()
+
+    def __enter__(self) -> "RiskRouteClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
 
     def call(self, op: str, **params: Any) -> dict:
         """Send one request and block for its reply.
 
-        ``None``-valued params are omitted from the wire.
+        ``None``-valued params are omitted from the wire.  Transport
+        failures mark the client closed (the next call reconnects);
+        under a :class:`RetryPolicy` retry-safe failures are retried
+        with backoff before surfacing.
 
         Raises:
             ServerError: on an error reply.
-            ConnectionError: when the daemon closes the connection.
+            ConnectionError: when the daemon drops the connection or
+                returns an unframed/garbage reply line.
+            OSError: other socket failures (including timeouts).
         """
+        wire_params = {k: v for k, v in params.items() if v is not None}
+        policy = self._retry
+        retry_safe = op in RETRY_SAFE_OPS or (
+            op == "update_forecast" and "token" in wire_params
+        )
+        deadline = (
+            time.monotonic() + policy.budget if policy is not None else None
+        )
+        retry_index = 0
+        while True:
+            try:
+                self._ensure_connected()
+                return self._roundtrip(op, wire_params)
+            except ServerError as exc:
+                if policy is None or exc.code not in policy.retry_codes:
+                    raise
+                self._backoff(policy, retry_index, deadline, exc)
+            except OSError as exc:
+                # ConnectionError, socket.timeout, refused reconnects:
+                # the stream can no longer be trusted.
+                self._teardown()
+                if policy is None or not retry_safe:
+                    raise
+                self._backoff(policy, retry_index, deadline, exc)
+            retry_index += 1
+
+    def _roundtrip(self, op: str, wire_params: Dict[str, Any]) -> dict:
         self._next_id += 1
         payload: Dict[str, Any] = {"id": self._next_id, "op": op}
-        payload.update({k: v for k, v in params.items() if v is not None})
+        payload.update(wire_params)
         self._file.write(
             json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
         )
@@ -64,7 +219,15 @@ class RiskRouteClient:
         line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
-        reply = json.loads(line.decode("utf-8"))
+        try:
+            reply = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            # A torn or garbage reply means the stream is desynchronized
+            # — it must not be reused for another request.
+            self._teardown()
+            raise ConnectionError(
+                f"malformed reply from server ({exc}); connection dropped"
+            ) from exc
         if not reply.get("ok"):
             error = reply.get("error") or {}
             raise ServerError(
@@ -73,22 +236,21 @@ class RiskRouteClient:
         self.last_fingerprint = reply.get("fingerprint")
         return reply["result"]
 
-    def close(self) -> None:
-        """Close the connection (idempotent)."""
-        try:
-            self._file.close()
-        except OSError:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
-
-    def __enter__(self) -> "RiskRouteClient":
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def _backoff(
+        self,
+        policy: RetryPolicy,
+        retry_index: int,
+        deadline: float,
+        exc: Exception,
+    ) -> None:
+        """Sleep before the next attempt, or re-raise ``exc`` when the
+        attempt count or time budget is spent."""
+        if retry_index >= policy.attempts - 1:
+            raise exc
+        delay = policy.delay(retry_index, self._rng)
+        if time.monotonic() + delay > deadline:
+            raise exc
+        time.sleep(delay)
 
     # -- ops ---------------------------------------------------------------
 
@@ -135,13 +297,25 @@ class RiskRouteClient:
         )
 
     def update_forecast(
-        self, risk: Dict[str, float], default: float = 0.0
+        self,
+        risk: Dict[str, float],
+        default: float = 0.0,
+        token: Optional[str] = None,
     ) -> dict:
         """Hot-swap the forecast risk field (``o_f``) atomically.
 
         ``risk`` may cover a subset of PoPs; the rest get ``default``.
+        ``token`` is an idempotency key: the server applies a given
+        token at most once, so a retried swap cannot double-apply.
+        Under a retry policy a token is generated automatically when
+        none is given (making the write safe to retry); without one, an
+        untokened update is never retried.
         """
-        return self.call("update_forecast", risk=dict(risk), default=default)
+        if token is None and self._retry is not None:
+            token = f"auto-{self._rng.getrandbits(64):016x}"
+        return self.call(
+            "update_forecast", risk=dict(risk), default=default, token=token
+        )
 
     def stats(self) -> dict:
         """Server counters, engine cache stats, current fingerprint."""

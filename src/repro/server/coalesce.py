@@ -44,6 +44,7 @@ class PendingRequest:
     deadline: Optional[float] = None  # loop.time() expiry, None = never
     reply: Optional[bytes] = field(default=None, compare=False)
     ok: Optional[bool] = field(default=None, compare=False)
+    delivered: bool = field(default=False, compare=False)
 
     def expired(self, now: float) -> bool:
         """True when the per-request deadline has passed."""

@@ -4,7 +4,7 @@ Architecture (all stdlib)::
 
     clients --TCP/NDJSON--> handlers --submit--> CoalescingQueue
                                                       |
-                                              single worker task
+                                          supervisor > worker task
                                                       |
                                     one-thread executor -> QueryService
                                                       |
@@ -19,9 +19,22 @@ Architecture (all stdlib)::
   batches on the one-thread executor (so engine state is touched by
   exactly one thread), and applies ``update_forecast`` barriers between
   batches — no reply can mix pre- and post-advisory risk.
+* **The supervisor** watches the worker: if it crashes (a service bug,
+  or an injected ``worker_exception`` fault), every request of the
+  batch in flight is failed with a typed ``internal`` error — never a
+  hung socket — the crash is counted in :class:`ServerStats`, ``health``
+  flips to ``degraded`` (with the reason), and a fresh worker is
+  started.  The next cleanly completed batch flips health back to
+  ``ok``.
 * **Shutdown** (:meth:`RiskRouteServer.stop` with ``drain=True``, the
   default) closes the listener, stops admissions, lets the worker drain
   every queued request, then closes remaining connections.
+
+Chaos testing: :class:`ServerConfig.faults` accepts a
+:class:`~repro.server.faults.FaultPlane` whose scheduled faults fire at
+the instrumented sites (connection resets, torn/delayed writes, worker
+crashes, executor stalls, forced swap failures).  Production configs
+leave it ``None``.
 
 :class:`ServerThread` runs a daemon on a background thread with its own
 event loop — the harness used by tests, benchmarks and examples.
@@ -33,9 +46,10 @@ import asyncio
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple
 
 from .coalesce import CoalescingQueue, PendingRequest
+from .faults import FaultPlane, FaultRule, InjectedFault
 from .protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -66,6 +80,8 @@ class ServerConfig:
         max_line_bytes: request-line cap; longer lines are answered
             ``too_large`` and the connection closes.
         latency_window: service-time samples kept for p50/p99.
+        faults: optional :class:`FaultPlane` for chaos tests; ``None``
+            (production) disables every injection site.
     """
 
     host: str = "127.0.0.1"
@@ -76,6 +92,7 @@ class ServerConfig:
     request_timeout: float = 30.0
     max_line_bytes: int = MAX_LINE_BYTES
     latency_window: int = 2048
+    faults: Optional[FaultPlane] = None
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -107,12 +124,16 @@ class RiskRouteServer:
         self.queue = CoalescingQueue(
             self.config.max_pending, self.config.max_batch
         )
-        self.service = QueryService(session)
+        self._faults = self.config.faults
+        self.service = QueryService(session, faults=self._faults)
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="riskroute-service"
         )
         self._server: Optional[asyncio.AbstractServer] = None
+        self._supervisor_task: Optional[asyncio.Task] = None
         self._worker_task: Optional[asyncio.Task] = None
+        self._inflight: Optional[List[PendingRequest]] = None
+        self._degraded_reason: Optional[str] = None
         self._writers: Set[asyncio.StreamWriter] = set()
         self._started_at = 0.0
         self.address: Optional[Tuple[str, int]] = None
@@ -129,7 +150,7 @@ class RiskRouteServer:
             self.config.port,
             limit=self.config.max_line_bytes,
         )
-        self._worker_task = loop.create_task(self._worker())
+        self._supervisor_task = loop.create_task(self._supervise())
         sockname = self._server.sockets[0].getsockname()
         self.address = (sockname[0], sockname[1])
         return self.address
@@ -145,19 +166,29 @@ class RiskRouteServer:
             await self._server.wait_closed()
             self._server = None
         await self.queue.close()
-        if self._worker_task is not None:
+        if self._supervisor_task is not None:
             if drain:
-                await self._worker_task
+                await self._supervisor_task
             else:
-                self._worker_task.cancel()
+                self._supervisor_task.cancel()
                 try:
-                    await self._worker_task
+                    await self._supervisor_task
                 except asyncio.CancelledError:
                     pass
+            self._supervisor_task = None
             self._worker_task = None
         for writer in list(self._writers):
             self._close_writer(writer)
         self._executor.shutdown(wait=True)
+
+    # -- fault plumbing ----------------------------------------------------
+
+    def _fault(self, site: str) -> Optional[FaultRule]:
+        """The rule to fire at ``site`` this visit, or None (hot path
+        pays one attribute check when no plane is configured)."""
+        if self._faults is None:
+            return None
+        return self._faults.check(site)
 
     # -- connection handling -----------------------------------------------
 
@@ -190,6 +221,11 @@ class RiskRouteServer:
                     break  # EOF: client is gone
                 if not line.strip():
                     continue
+                if self._fault("connection_reset") is not None:
+                    # Injected mid-call drop: the request dies without a
+                    # reply, exactly like a yanked cable.
+                    writer.transport.abort()
+                    break
                 await self._admit(loop, writer, line)
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass  # disconnect mid-read: nothing to answer
@@ -250,7 +286,55 @@ class RiskRouteServer:
                 ),
             )
 
-    # -- the worker --------------------------------------------------------
+    # -- the worker and its supervisor -------------------------------------
+
+    async def _supervise(self) -> None:
+        """Run the worker; restart it when it crashes.
+
+        A crashed worker strands its in-flight batch — the supervisor
+        fails those requests with typed ``internal`` errors (exactly one
+        reply per admitted request, never a hung socket), marks the
+        daemon ``degraded``, and starts a fresh worker.  A clean worker
+        exit means the queue closed and drained.
+        """
+        loop = asyncio.get_running_loop()
+        while True:
+            worker = loop.create_task(self._worker())
+            self._worker_task = worker
+            try:
+                await worker
+                return  # queue closed and drained
+            except asyncio.CancelledError:
+                worker.cancel()
+                try:
+                    await worker
+                except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                    pass
+                raise
+            except Exception as exc:  # noqa: BLE001 - any worker crash
+                self._on_worker_crash(loop, exc)
+                self.stats.worker_restarts += 1
+
+    def _on_worker_crash(
+        self, loop: asyncio.AbstractEventLoop, exc: BaseException
+    ) -> None:
+        """Fail the stranded batch and flip health to ``degraded``."""
+        self.stats.worker_crashes += 1
+        self._degraded_reason = (
+            f"worker crashed: {type(exc).__name__}: {exc}"
+        )
+        batch, self._inflight = self._inflight, None
+        for item in batch or ():
+            if item.delivered:
+                continue
+            if item.reply is None:
+                item.reply = encode_error(
+                    item.request.id,
+                    "internal",
+                    "worker crashed mid-batch; request aborted",
+                )
+                item.ok = False
+            self._deliver(loop, item)
 
     async def _worker(self) -> None:
         loop = asyncio.get_running_loop()
@@ -276,6 +360,13 @@ class RiskRouteServer:
             if not live:
                 continue
             self.stats.batches += 1
+            self._inflight = live
+            rule = self._fault("worker_exception")
+            if rule is not None:
+                raise InjectedFault(
+                    "injected worker_exception "
+                    f"(batch of {len(live)} {live[0].request.op!r})"
+                )
             op = live[0].request.op
             if op == "stats":
                 item = live[0]
@@ -284,8 +375,7 @@ class RiskRouteServer:
                 )
                 item.ok = True
                 self._deliver(loop, item)
-                continue
-            if op == "update_forecast":
+            elif op == "update_forecast":
                 item = live[0]
                 changed = await loop.run_in_executor(
                     self._executor, self.service.apply_update, item
@@ -293,20 +383,26 @@ class RiskRouteServer:
                 if changed:
                     self.stats.forecast_swaps += 1
                 self._deliver(loop, item)
-                continue
-            metrics = await loop.run_in_executor(
-                self._executor, self.service.execute_batch, live
-            )
-            self.stats.coalesced_sweeps += metrics["coalesced"]
-            self.stats.sweeps_computed += metrics["computed"]
-            for item in live:
-                self._deliver(loop, item)
+            else:
+                metrics = await loop.run_in_executor(
+                    self._executor, self.service.execute_batch, live
+                )
+                self.stats.coalesced_sweeps += metrics["coalesced"]
+                self.stats.sweeps_computed += metrics["computed"]
+                for item in live:
+                    self._deliver(loop, item)
+            self._inflight = None
+            # A batch completed end to end: the daemon has healed.
+            self._degraded_reason = None
 
     # -- reply plumbing ----------------------------------------------------
 
     def _deliver(
         self, loop: asyncio.AbstractEventLoop, item: PendingRequest
     ) -> None:
+        if item.delivered:
+            return  # exactly one reply per admitted request
+        item.delivered = True
         if item.reply is None:
             item.reply = encode_error(
                 item.request.id, "internal", "no reply produced"
@@ -321,10 +417,31 @@ class RiskRouteServer:
             loop.time() - item.arrived, op=item.request.op
         )
 
-    @staticmethod
-    def _write(writer: asyncio.StreamWriter, data: bytes) -> None:
+    def _write(self, writer: asyncio.StreamWriter, data: bytes) -> None:
         """Best-effort single-call write; a vanished client is not an
         error for the daemon (the reply is simply dropped)."""
+        try:
+            if writer.is_closing():
+                return
+            rule = self._fault("partial_write")
+            if rule is not None:
+                # Tear the reply: flush a prefix, then FIN.  The client
+                # sees an unframed fragment followed by EOF.
+                writer.write(data[: max(1, len(data) // 2)])
+                writer.close()
+                return
+            rule = self._fault("delayed_write")
+            if rule is not None:
+                asyncio.get_running_loop().call_later(
+                    rule.delay, self._late_write, writer, data
+                )
+                return
+            writer.write(data)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    @staticmethod
+    def _late_write(writer: asyncio.StreamWriter, data: bytes) -> None:
         try:
             if not writer.is_closing():
                 writer.write(data)
@@ -350,11 +467,21 @@ class RiskRouteServer:
         }
 
     def _health_payload(self, loop: asyncio.AbstractEventLoop) -> dict:
+        if self.queue.closed:
+            status = "draining"
+        elif self._degraded_reason is not None:
+            status = "degraded"
+        else:
+            status = "ok"
         payload = {
-            "status": "draining" if self.queue.closed else "ok",
+            "status": status,
             "uptime_s": loop.time() - self._started_at,
             "queue_depth": len(self.queue),
         }
+        if self._degraded_reason is not None:
+            payload["degraded_reason"] = self._degraded_reason
+        if self.stats.worker_restarts:
+            payload["worker_restarts"] = self.stats.worker_restarts
         payload.update(self._network_info())
         return payload
 
@@ -366,6 +493,9 @@ class RiskRouteServer:
             queue_depth=len(self.queue),
             uptime=loop.time() - self._started_at,
         )
+        payload["degraded_reason"] = self._degraded_reason
+        if self._faults is not None:
+            payload["faults"] = self._faults.snapshot()
         payload["engine"] = self.session.stats()
         payload.update(self._network_info())
         return payload

@@ -22,6 +22,18 @@ Error codes are a closed set (:data:`ERROR_CODES`); clients switch on
 ``max_line_bytes`` cap are answered with ``too_large`` and the
 connection is closed (the rest of the oversized line cannot be framed
 reliably).
+
+``update_forecast`` accepts an optional idempotency ``token`` (string):
+the daemon applies a given token at most once and answers retries of an
+already-applied token with ``"duplicate": true`` in the result, so a
+client that lost the original reply to a connection drop can re-send
+safely.  A swap that fails server-side (``internal``) is rolled back —
+the fingerprint on subsequent replies proves the risk field did not
+move — and does *not* consume the token.
+
+``health`` reports ``status`` as ``ok``, ``degraded`` (a worker crash
+was survived; ``degraded_reason`` says why, and the state clears once a
+batch completes cleanly) or ``draining``.
 """
 
 from __future__ import annotations

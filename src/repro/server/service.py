@@ -14,17 +14,30 @@ demands — the ``(alpha bucket, source)`` searches each request will
 need — are collected, deduplicated and prefetched in one engine call.
 Requests that demand the same sweep share one computation; the surplus
 is reported back as ``coalesced`` and surfaces in server stats.
+
+Forecast swaps are **transactional**: :meth:`QueryService.apply_update`
+validates the whole advisory before touching anything, applies it
+copy-on-write (a new :class:`~repro.risk.model.RiskModel`, swapped by
+reference), and on *any* failure during the apply rolls the session
+back to the prior model — the risk field and its fingerprint are
+restored, never left half-swapped.  An optional idempotency ``token``
+makes retries safe: a token is recorded only after a successful apply,
+so a retried swap applies at most once and the duplicate is answered
+from the token ledger (``duplicate: true`` on the wire).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+import time
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.strategy import SweepStrategy, resolve_strategy
 from ..engine.cache import alpha_bucket
 from ..graph.core import NodeNotFoundError
 from ..graph.shortest_path import NoPathError
 from .coalesce import PendingRequest
+from .faults import FaultPlane, InjectedFault
 from .protocol import (
     ProtocolError,
     Request,
@@ -58,11 +71,25 @@ def _wire_strategy(params: Dict[str, Any]):
         raise ProtocolError("bad_request", str(exc))
 
 
+#: Most recent idempotency tokens remembered per service (a retried
+#: ``update_forecast`` older than this many successful swaps is no
+#: longer recognized as a duplicate).
+TOKEN_LEDGER_SIZE = 256
+
+
 class QueryService:
     """Synchronous batch executor over one :class:`RoutingSession`."""
 
-    def __init__(self, session) -> None:
+    def __init__(self, session, faults: Optional[FaultPlane] = None) -> None:
         self.session = session
+        self._faults = faults
+        # token -> the 'changed' outcome of the swap it guarded.
+        self._applied_tokens: "OrderedDict[str, bool]" = OrderedDict()
+
+    def _fault(self, site: str):
+        if self._faults is None:
+            return None
+        return self._faults.check(site)
 
     # -- coalescing plan ---------------------------------------------------
 
@@ -104,6 +131,9 @@ class QueryService:
         ``coalesced`` (demands shared within the batch), ``computed``
         (cold sweeps actually run by the shared prefetch).
         """
+        rule = self._fault("executor_stall")
+        if rule is not None:
+            time.sleep(rule.delay)
         engine = self.session.engine
         fingerprint = engine.risk_fingerprint
         resolution = engine.config.alpha_resolution
@@ -125,9 +155,24 @@ class QueryService:
 
     def apply_update(self, item: PendingRequest) -> bool:
         """Apply one ``update_forecast`` barrier; returns whether the
-        risk field actually changed (and sweeps were invalidated)."""
+        risk field actually changed (and sweeps were invalidated).
+
+        The swap is transactional: validation completes before any
+        state moves, the new model is built copy-on-write, and a
+        failure during the apply rolls the session back to the prior
+        risk field and fingerprint.  With an idempotency ``token`` a
+        retried swap applies at most once — duplicates answer from the
+        token ledger with ``duplicate: true`` and the current
+        fingerprint, without touching the engine.
+        """
         request = item.request
         try:
+            token = request.params.get("token")
+            if token is not None and not isinstance(token, str):
+                raise ProtocolError(
+                    "bad_request",
+                    f"param 'token' must be a string, got {token!r}",
+                )
             risk = request.params.get("risk")
             if not isinstance(risk, dict):
                 raise ProtocolError(
@@ -148,10 +193,23 @@ class QueryService:
             full = {
                 pop: float(risk.get(pop, default)) for pop in model.pop_ids()
             }
-            changed = self.session.update_forecast(full)
+            if token is not None and token in self._applied_tokens:
+                item.reply = encode_reply(
+                    request.id,
+                    {
+                        "changed": self._applied_tokens[token],
+                        "duplicate": True,
+                    },
+                    fingerprint=self.session.engine.risk_fingerprint,
+                )
+                item.ok = True
+                return False  # nothing swapped this time
+            changed = self._transactional_swap(full)
+            if token is not None:
+                self._remember_token(token, changed)
             item.reply = encode_reply(
                 request.id,
-                {"changed": changed},
+                {"changed": changed, "duplicate": False},
                 fingerprint=self.session.engine.risk_fingerprint,
             )
             item.ok = True
@@ -160,6 +218,33 @@ class QueryService:
             item.reply = self._error_reply(request, exc)
             item.ok = False
             return False
+
+    def _transactional_swap(self, full: Dict[str, float]) -> bool:
+        """Swap the forecast risk field; roll back on any failure.
+
+        The prior model is captured before the apply; if the swap (or
+        an injected ``apply_update`` fault, which fires *after* the new
+        model landed — the worst case) raises, the session is restored
+        to that model, bringing the risk field and fingerprint back to
+        their pre-swap values.
+        """
+        session = self.session
+        prior_model = session.model
+        try:
+            changed = session.update_forecast(full)
+            rule = self._fault("apply_update")
+            if rule is not None:
+                raise InjectedFault("injected apply_update failure")
+            return changed
+        except Exception:
+            session.update_model(prior_model)
+            raise
+
+    def _remember_token(self, token: str, changed: bool) -> None:
+        """Record a successfully applied token (bounded ledger)."""
+        self._applied_tokens[token] = changed
+        while len(self._applied_tokens) > TOKEN_LEDGER_SIZE:
+            self._applied_tokens.popitem(last=False)
 
     # -- per-request dispatch ----------------------------------------------
 

@@ -43,6 +43,8 @@ class ServerStats:
         self.coalesced_sweeps = 0  # sweep demands shared within a batch
         self.sweeps_computed = 0   # cold sweeps actually run
         self.forecast_swaps = 0    # update_forecast calls that invalidated
+        self.worker_crashes = 0    # worker task died (batch aborted)
+        self.worker_restarts = 0   # supervisor restarts after a crash
         self.queue_high_water = 0  # max pending depth observed
         self._latency_window = latency_window
         self._latencies: Deque[float] = deque(maxlen=latency_window)
@@ -91,6 +93,8 @@ class ServerStats:
             "coalesced_sweeps": self.coalesced_sweeps,
             "sweeps_computed": self.sweeps_computed,
             "forecast_swaps": self.forecast_swaps,
+            "worker_crashes": self.worker_crashes,
+            "worker_restarts": self.worker_restarts,
             "queue_depth": queue_depth,
             "queue_high_water": self.queue_high_water,
             "p50_ms": _percentile(window, 0.50) * 1e3,

@@ -93,6 +93,72 @@ class TestServeQueryParser:
         assert code == 2
         assert "cannot connect" in capsys.readouterr().err
 
+    def test_query_retries_flag(self):
+        args = build_parser().parse_args(
+            ["query", "--port", "9999", "--retries", "3", "health"]
+        )
+        assert args.retries == 3
+
+
+class _FakeQueryClient:
+    """Stands in for RiskRouteClient to drive `_cmd_query` error paths."""
+
+    error: Exception = None
+
+    def __init__(self, *args, **kwargs):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        pass
+
+    def health(self):
+        raise type(self).error
+
+
+class TestQueryErrorMapping:
+    """Satellite: timeouts and mid-call drops exit 1 with one stderr
+    line instead of a traceback."""
+
+    @pytest.fixture
+    def fake_client(self, monkeypatch):
+        import repro.server
+
+        monkeypatch.setattr(
+            repro.server, "RiskRouteClient", _FakeQueryClient
+        )
+        return _FakeQueryClient
+
+    def test_socket_timeout_exits_1(self, capsys, fake_client):
+        import socket
+
+        fake_client.error = socket.timeout("timed out")
+        code = main(["query", "--port", "9", "--timeout", "2", "health"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "timed out after 2s" in err
+        assert "127.0.0.1:9" in err
+
+    def test_mid_call_drop_exits_1(self, capsys, fake_client):
+        fake_client.error = ConnectionError("server closed the connection")
+        code = main(["query", "--port", "9", "health"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "connection to 127.0.0.1:9 failed" in err
+        assert "server closed" in err
+
+    def test_server_error_still_exits_1(self, capsys, fake_client):
+        from repro.server import ServerError
+
+        fake_client.error = ServerError("overloaded", "queue full")
+        code = main(["query", "--port", "9", "health"])
+        assert code == 1
+        assert "overloaded" in capsys.readouterr().err
+
 
 class TestCommands:
     def test_list(self, capsys):

@@ -340,9 +340,23 @@ def _cmd_serve(args) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
+    # Building the model pays the o_h KDE sweep on a cold cache; with a
+    # warm persistent cache it is a fingerprint lookup.
+    from .stats.fieldcache import default_field_cache
+
     model = RiskModel.for_network(
         network, gamma_h=args.gamma_h, gamma_f=args.gamma_f
     )
+    field_cache = default_field_cache()
+    if field_cache is not None:
+        hits = field_cache.stats.hits
+        # stderr: stdout carries the machine-read "serving ..." banner.
+        print(
+            f"risk-field cache at {field_cache.cache_dir}: "
+            f"{'warm (o_h loaded from disk)' if hits else 'cold (o_h computed)'}",
+            file=sys.stderr,
+            flush=True,
+        )
     session = RoutingSession(network, model)
     config = ServerConfig(
         host=args.host,

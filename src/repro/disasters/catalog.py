@@ -16,7 +16,7 @@ from ..stats.bandwidth import (
     cross_validate_bandwidth,
     log_space_candidates,
 )
-from ..stats.kde import GaussianKDE
+from ..stats.kde import DEFAULT_CUTOFF_SIGMAS, GaussianKDE, points_to_array
 from .events import DisasterCatalog, EventType
 from .fema import fema_hurricanes, fema_storms, fema_tornadoes
 from .noaa import noaa_earthquakes, noaa_wind
@@ -125,7 +125,9 @@ def trained_bandwidths() -> Dict[str, float]:
 
 @lru_cache(maxsize=None)
 def event_kde(
-    event_type: str, bandwidth_miles: Optional[float] = None
+    event_type: str,
+    bandwidth_miles: Optional[float] = None,
+    cutoff_sigmas: Optional[float] = DEFAULT_CUTOFF_SIGMAS,
 ) -> GaussianKDE:
     """The likelihood field of one event class (Figure 4, panels A-E).
 
@@ -133,10 +135,18 @@ def event_kde(
         event_type: which class.
         bandwidth_miles: override; defaults to the pretrained bandwidth
             (see :data:`PRETRAINED_BANDWIDTHS`).
+        cutoff_sigmas: kernel truncation (miles of reach =
+            ``cutoff_sigmas * bandwidth``); the default 8-sigma cutoff
+            keeps densities within ``exp(-32)/(2 pi sigma^2)`` of exact
+            — pass ``None`` for the exact dense evaluation.
     """
     if bandwidth_miles is None:
         bandwidth_miles = PRETRAINED_BANDWIDTHS[event_type]
-    return GaussianKDE(catalog_of(event_type).locations(), bandwidth_miles)
+    return GaussianKDE.from_array(
+        points_to_array(catalog_of(event_type).locations()),
+        bandwidth_miles,
+        cutoff_sigmas=cutoff_sigmas,
+    )
 
 
 def all_event_kdes() -> Dict[str, GaussianKDE]:

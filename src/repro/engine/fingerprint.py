@@ -19,12 +19,19 @@ no false merges from decimal rounding.
 from __future__ import annotations
 
 import hashlib
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..graph.core import Graph
-from ..risk.model import RiskModel
 
-__all__ = ["graph_fingerprint", "risk_fingerprint"]
+if TYPE_CHECKING:  # risk.model imports back into the engine package
+    from ..risk.model import RiskModel
+
+__all__ = [
+    "graph_fingerprint",
+    "risk_fingerprint",
+    "array_fingerprint",
+    "combine_fingerprints",
+]
 
 
 def _digest(parts: Iterable[str]) -> str:
@@ -32,6 +39,35 @@ def _digest(parts: Iterable[str]) -> str:
     for part in parts:
         h.update(part.encode("utf-8"))
         h.update(b"\x00")
+    return h.hexdigest()
+
+
+def combine_fingerprints(parts: Iterable[str]) -> str:
+    """Hash a sequence of fingerprint/tag strings into one key.
+
+    The same ``\\x00``-separated blake2b scheme as every other key in
+    this module, so composite cache keys (catalog x bandwidth x grid
+    spec) stay collision-resistant and platform-stable.
+    """
+    return _digest(parts)
+
+
+def array_fingerprint(arr) -> str:
+    """Content hash of a NumPy array: dtype, shape, and raw bytes.
+
+    Used to key persistent risk-field caches by the exact event catalog
+    and query-point contents — ~10ms for the full 176k-event corpus,
+    negligible next to the sweep it guards.
+    """
+    import numpy as np
+
+    arr = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(arr.dtype).encode("utf-8"))
+    h.update(b"\x00")
+    h.update(str(arr.shape).encode("utf-8"))
+    h.update(b"\x00")
+    h.update(arr.tobytes())
     return h.hexdigest()
 
 

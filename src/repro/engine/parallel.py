@@ -24,11 +24,14 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple, TypeVar
 
 from .sweep import SweepResult, csr_sweep
 
-__all__ = ["EngineConfig", "sweep_many"]
+__all__ = ["EngineConfig", "sweep_many", "thread_map"]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
 #: Arrays handed to worker processes once, via the pool initializer.
 _WORKER_ARRAYS: dict = {}
@@ -81,6 +84,28 @@ def _process_task(task: Tuple[int, float]) -> SweepResult:
     return csr_sweep(indptr, indices, weights, entry_risk, source, alpha)
 
 
+def thread_map(
+    func: Callable[[_T], _R], tasks: Sequence[_T], workers: int
+) -> List[_R]:
+    """Map ``func`` over ``tasks`` on a thread pool, in task order.
+
+    The generic fan-out behind both the engine's thread executor and
+    the KDE chunk evaluation (NumPy releases the GIL inside its
+    kernels).  Falls back to a plain loop when a pool is not worth it
+    or cannot be stood up in this environment, so callers never fail on
+    pool availability.
+    """
+    if workers <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    try:
+        with ThreadPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
+            return list(pool.map(func, tasks))
+    except (OSError, ValueError, RuntimeError):
+        # Thread pools can be unavailable (exhausted fds, shutdown
+        # interpreters); the plain loop always works.
+        return [func(task) for task in tasks]
+
+
 def _serial(arrays, tasks) -> List[SweepResult]:
     indptr, indices, weights, entry_risk = arrays
     return [
@@ -113,15 +138,13 @@ def sweep_many(
             ) as pool:
                 return list(pool.map(_process_task, tasks, chunksize=4))
         indptr, indices, weights, entry_risk = arrays
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(
-                pool.map(
-                    lambda task: csr_sweep(
-                        indptr, indices, weights, entry_risk, *task
-                    ),
-                    tasks,
-                )
-            )
+        return thread_map(
+            lambda task: csr_sweep(
+                indptr, indices, weights, entry_risk, *task
+            ),
+            tasks,
+            workers,
+        )
     except (OSError, ValueError, RuntimeError):
         # Pools can be unavailable (sandboxes, exhausted fds, shutdown
         # interpreters); the serial path always works.

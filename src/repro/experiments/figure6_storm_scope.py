@@ -7,6 +7,8 @@ Irene, 8 for Katrina and 115 for Sandy.
 
 from __future__ import annotations
 
+import numpy as np
+
 from ..forecast.risk import snapshot_from_advisory
 from ..forecast.storms import case_study_storms, storm_advisories
 from ..topology.zoo import regional_networks, tier1_networks
@@ -17,18 +19,26 @@ PAPER_HURRICANE_POPS = {"Irene": 86, "Katrina": 8, "Sandy": 115}
 
 
 def _scope_counts(advisories, pops):
+    if not pops:
+        return 0, 0
+    latlon = np.array(
+        [(p.location.lat, p.location.lon) for p in pops], dtype=np.float64
+    )
+    # One vectorised pass per advisory over every PoP at once.
+    best = np.zeros(len(pops), dtype=np.int64)
+    for advisory in advisories:
+        snapshot = snapshot_from_advisory(advisory)
+        np.maximum(best, snapshot.zone_levels_many(latlon), out=best)
+        if best.min() == 2:
+            break
+    # Collapse duplicate pop_ids (shared sites across networks) to the
+    # strongest level seen, matching the per-pop_id dict of the scalar
+    # implementation this replaced.
     strongest = {}
-    snapshots = [snapshot_from_advisory(a) for a in advisories]
-    for pop in pops:
-        level = 0
-        for snap in snapshots:
-            zone = snap.zone_of(pop.location)
-            if zone == "hurricane":
-                level = 2
-                break
-            if zone == "tropical":
-                level = max(level, 1)
-        strongest[pop.pop_id] = level
+    for pop, level in zip(pops, best):
+        key = pop.pop_id
+        if int(level) > strongest.get(key, 0):
+            strongest[key] = int(level)
     hurricane = sum(1 for level in strongest.values() if level == 2)
     tropical = sum(1 for level in strongest.values() if level == 1)
     return hurricane, tropical

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..geo.coords import GeoPoint
 from ..geo.distance import destination_point
 from .advisory import Advisory
@@ -163,25 +165,42 @@ class AnticipatoryRiskField:
         """Number of (current + projected) fields in play."""
         return len(self._weighted)
 
+    def risks_many(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """Max weighted forecast risk per (lat, lon) degree row.
+
+        One vectorised pass per field over all points at once.
+        """
+        latlon_deg = np.asarray(latlon_deg, dtype=np.float64)
+        best = np.zeros(latlon_deg.shape[0], dtype=np.float64)
+        for weight, snapshot in self._weighted:
+            np.maximum(best, weight * snapshot.risks_many(latlon_deg), out=best)
+        return best
+
     def risk_at(self, point: GeoPoint) -> float:
         """Max weighted forecast risk over all fields."""
-        best = 0.0
-        for weight, snapshot in self._weighted:
-            value = weight * snapshot.risk_at(point)
-            if value > best:
-                best = value
-        return best
+        return float(self.risks_many(np.array([[point.lat, point.lon]]))[0])
+
+    def _network_risks(self, network) -> "np.ndarray":
+        pops = network.pops()
+        latlon = np.array(
+            [(p.location.lat, p.location.lon) for p in pops],
+            dtype=np.float64,
+        ).reshape(len(pops), 2)
+        return self.risks_many(latlon)
 
     def pop_risks(self, network) -> Dict[str, float]:
         """``o_f`` per PoP of a network."""
+        risks = self._network_risks(network)
         return {
-            pop.pop_id: self.risk_at(pop.location) for pop in network.pops()
+            pop.pop_id: float(risk)
+            for pop, risk in zip(network.pops(), risks)
         }
 
     def pops_threatened(self, network) -> List[str]:
         """PoPs with any current or projected exposure."""
+        risks = self._network_risks(network)
         return [
             pop.pop_id
-            for pop in network.pops()
-            if self.risk_at(pop.location) > 0.0
+            for pop, risk in zip(network.pops(), risks)
+            if risk > 0.0
         ]

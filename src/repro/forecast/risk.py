@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Sequence
 
+import numpy as np
+
 from ..geo.coords import GeoPoint
-from ..geo.distance import haversine_miles
+from ..geo.distance import distances_to_latlon_array
 from .advisory import Advisory
 from .parser import ParsedAdvisory, parse_advisory_text
 
@@ -30,6 +32,9 @@ __all__ = [
 RHO_TROPICAL = 50.0
 #: Paper's forecast risk for hurricane-force winds.
 RHO_HURRICANE = 100.0
+
+#: Zone level (see ForecastSnapshot.zone_levels_many) -> name.
+_ZONE_NAMES = ("clear", "tropical", "hurricane")
 
 
 @dataclass(frozen=True)
@@ -50,23 +55,41 @@ class ForecastSnapshot:
         if self.rho_hurricane < self.rho_tropical:
             raise ValueError("rho_hurricane must be >= rho_tropical")
 
+    def zone_levels_many(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """Zone level per (lat, lon) degree row: 0 clear, 1 tropical,
+        2 hurricane.
+
+        One vectorised haversine pass against the storm centre — the
+        kernel behind :meth:`risks_many`, :func:`storm_scope`, and the
+        anticipatory field, where per-point Python loops used to
+        dominate Figure 6.
+        """
+        distances = distances_to_latlon_array(latlon_deg, self.center)
+        levels = np.zeros(distances.shape[0], dtype=np.int64)
+        levels[distances <= self.tropical_radius_miles] = 1
+        levels[distances <= self.hurricane_radius_miles] = 2
+        return levels
+
+    def risks_many(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """Forecast outage risk ``o_f`` per (lat, lon) degree row."""
+        levels = self.zone_levels_many(latlon_deg)
+        risks = np.zeros(levels.shape[0], dtype=np.float64)
+        risks[levels == 1] = self.rho_tropical
+        risks[levels == 2] = self.rho_hurricane
+        return risks
+
     def risk_at(self, location: GeoPoint) -> float:
         """Forecast outage risk ``o_f`` at a location."""
-        distance = haversine_miles(self.center, location)
-        if distance <= self.hurricane_radius_miles:
-            return self.rho_hurricane
-        if distance <= self.tropical_radius_miles:
-            return self.rho_tropical
-        return 0.0
+        return float(
+            self.risks_many(np.array([[location.lat, location.lon]]))[0]
+        )
 
     def zone_of(self, location: GeoPoint) -> str:
         """"hurricane", "tropical" or "clear" for a location."""
-        distance = haversine_miles(self.center, location)
-        if distance <= self.hurricane_radius_miles:
-            return "hurricane"
-        if distance <= self.tropical_radius_miles:
-            return "tropical"
-        return "clear"
+        level = self.zone_levels_many(
+            np.array([[location.lat, location.lon]])
+        )[0]
+        return _ZONE_NAMES[int(level)]
 
 
 def snapshot_from_advisory(
@@ -114,17 +137,21 @@ def storm_scope(
 
     For each location, the strongest zone it ever fell into across the
     full advisory sequence: "hurricane" beats "tropical" beats "clear".
+    One vectorised pass per advisory over all locations at once.
     """
-    order = {"clear": 0, "tropical": 1, "hurricane": 2}
-    snapshots = [snapshot_from_advisory(a) for a in advisories]
-    result: Dict[GeoPoint, str] = {}
-    for location in locations:
-        best = "clear"
-        for snapshot in snapshots:
-            zone = snapshot.zone_of(location)
-            if order[zone] > order[best]:
-                best = zone
-            if best == "hurricane":
-                break
-        result[location] = best
-    return result
+    location_list = list(locations)
+    if not location_list:
+        return {}
+    latlon = np.array(
+        [(p.lat, p.lon) for p in location_list], dtype=np.float64
+    )
+    best = np.zeros(latlon.shape[0], dtype=np.int64)
+    for advisory in advisories:
+        snapshot = snapshot_from_advisory(advisory)
+        np.maximum(best, snapshot.zone_levels_many(latlon), out=best)
+        if best.min() == 2:
+            break
+    return {
+        location: _ZONE_NAMES[int(level)]
+        for location, level in zip(location_list, best)
+    }

@@ -15,24 +15,37 @@ convert here using a kernel unit of 1000 miles
 gamma values (1e5, 1e6) in the regime where impact-scaled risk competes
 with route mileage: it was calibrated so the Level3 risk-reduction
 ratios at gamma_h = 1e5 and 1e6 land on the paper's Table 2 values.
+
+Computed ``o_h`` vectors are cached through the persistent
+:mod:`~repro.stats.fieldcache`, keyed by the model's content fingerprint
+(every event catalog, bandwidth, truncation, and class weight) times the
+query-point contents — so a warm cache answers ``pop_risks`` without
+evaluating a single kernel, and two different models (or two different
+networks that happen to share a name) can never collide.
 """
 
 from __future__ import annotations
 
 from functools import lru_cache
+from threading import Lock
 from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..disasters.catalog import all_event_kdes
 from ..geo.coords import GeoPoint
-from ..stats.kde import GaussianKDE
+from ..stats.fieldcache import CacheArg, content_key, resolve_cache
+from ..stats.kde import GaussianKDE, points_to_array
 from ..topology.network import Network
 
 __all__ = ["HistoricalRiskModel", "default_historical_model", "RISK_UNIT_MILES"]
 
 #: The kernel distance unit of Equation 2 (see module docstring).
 RISK_UNIT_MILES = 1000.0
+
+#: In-process memo bound for (model, points) -> o_h vectors; each entry
+#: is one float per PoP, so this is a few hundred KB at the extreme.
+_MEMO_LIMIT = 64
 
 
 class HistoricalRiskModel:
@@ -42,6 +55,11 @@ class HistoricalRiskModel:
         kdes: event-class -> fitted KDE.
         weights: optional per-class emphasis (Section 5.2's operator
             weights); defaults to 1.0 for every class present.
+        cache: persistent store for computed ``o_h`` vectors —
+            ``"default"`` resolves the process-wide
+            :func:`~repro.stats.fieldcache.default_field_cache`,
+            ``None`` disables persistence, or pass a
+            :class:`~repro.stats.fieldcache.RiskFieldCache` directly.
 
     Raises:
         ValueError: for empty models or negative weights.
@@ -51,6 +69,7 @@ class HistoricalRiskModel:
         self,
         kdes: Mapping[str, GaussianKDE],
         weights: Optional[Mapping[str, float]] = None,
+        cache: CacheArg = "default",
     ) -> None:
         if not kdes:
             raise ValueError("need at least one event-class KDE")
@@ -61,6 +80,27 @@ class HistoricalRiskModel:
             if weight < 0:
                 raise ValueError(f"negative weight for {event_type!r}")
             self._weights[event_type] = weight
+        self._cache_arg: CacheArg = cache
+        self._fingerprint: Optional[str] = None
+        self._memo: Dict[str, "np.ndarray"] = {}
+        self._memo_lock = Lock()
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint: every class's KDE identity and weight.
+
+        Any change to the event catalog, a bandwidth, the truncation
+        setting, or a class weight produces a different fingerprint —
+        this is what keys persisted ``o_h`` vectors.
+        """
+        if self._fingerprint is None:
+            parts = ["oh-model:v1"]
+            for event_type in sorted(self._kdes):
+                parts.append(event_type)
+                parts.append(self._kdes[event_type].fingerprint)
+                parts.append(float(self._weights[event_type]).hex())
+            self._fingerprint = content_key(parts)
+        return self._fingerprint
 
     def event_types(self) -> Sequence[str]:
         """The event classes in the model, sorted."""
@@ -74,38 +114,94 @@ class HistoricalRiskModel:
         Raises:
             KeyError: for an event class not in the model.
         """
+        return self._class_risk_array(event_type, points_to_array(points))
+
+    def _class_risk_array(
+        self, event_type: str, latlon_deg: "np.ndarray"
+    ) -> "np.ndarray":
         if event_type not in self._kdes:
             raise KeyError(f"no KDE for event type {event_type!r}")
         kde = self._kdes[event_type]
         # Equation 2 normalisation: density * sigma * unit.
         return (
-            kde.density_many(points) * kde.bandwidth_miles * RISK_UNIT_MILES
+            kde.density_array(latlon_deg)
+            * kde.bandwidth_miles
+            * RISK_UNIT_MILES
         )
+
+    def risks_array(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """Aggregate ``o_h`` at each row of an (M, 2) (lat, lon) array.
+
+        Every class is evaluated off this one shared array — no
+        per-class re-conversion of the point sequence.
+        """
+        latlon_deg = np.asarray(latlon_deg, dtype=np.float64)
+        total = np.zeros(latlon_deg.shape[0], dtype=np.float64)
+        for event_type in sorted(self._kdes):
+            total += self._weights[event_type] * self._class_risk_array(
+                event_type, latlon_deg
+            )
+        return total
 
     def risk_many(self, points: Sequence[GeoPoint]) -> "np.ndarray":
         """Aggregate ``o_h`` at each point: weighted sum over classes."""
         if not points:
             return np.zeros(0, dtype=np.float64)
-        total = np.zeros(len(points), dtype=np.float64)
-        for event_type in sorted(self._kdes):
-            total += self._weights[event_type] * self.class_risk_many(
-                event_type, points
-            )
-        return total
+        return self.risks_array(points_to_array(points))
 
     def risk_at(self, point: GeoPoint) -> float:
         """Aggregate ``o_h`` at one location."""
         return float(self.risk_many([point])[0])
 
+    def cached_risks_array(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """``risks_array`` through the in-process memo and disk cache.
+
+        The key covers the model fingerprint and the exact point
+        contents; a hit skips KDE evaluation entirely.
+        """
+        latlon_deg = np.asarray(latlon_deg, dtype=np.float64)
+        store = resolve_cache(self._cache_arg)
+        # Lazy: repro.engine's package init imports this module.
+        from ..engine.fingerprint import array_fingerprint
+
+        key = content_key(
+            ["oh", self.fingerprint, array_fingerprint(latlon_deg)]
+        )
+        with self._memo_lock:
+            memoized = self._memo.get(key)
+        if memoized is not None:
+            return memoized
+        values = None
+        if store is not None:
+            values = store.get("oh", key)
+            if values is not None and values.shape != (latlon_deg.shape[0],):
+                store.invalidate("oh", key)
+                values = None
+        if values is None:
+            values = self.risks_array(latlon_deg)
+            if store is not None:
+                store.put("oh", key, values)
+        with self._memo_lock:
+            if len(self._memo) >= _MEMO_LIMIT:
+                self._memo.clear()
+            self._memo[key] = values
+        return values
+
     def pop_risks(self, network: Network) -> Dict[str, float]:
-        """``o_h`` for every PoP of a network, keyed by PoP id."""
+        """``o_h`` for every PoP of a network, keyed by PoP id.
+
+        Served from the persistent risk-field cache when warm: the key
+        is the model fingerprint times the PoP coordinates, so renamed
+        or same-named-but-different networks always get correct values.
+        """
         pops = network.pops()
-        risks = self.risk_many([p.location for p in pops])
+        latlon = points_to_array([p.location for p in pops])
+        risks = self.cached_risks_array(latlon)
         return {pop.pop_id: float(risk) for pop, risk in zip(pops, risks)}
 
     def reweighted(self, weights: Mapping[str, float]) -> "HistoricalRiskModel":
         """A copy with different per-class weights (operator extension)."""
-        return HistoricalRiskModel(self._kdes, weights)
+        return HistoricalRiskModel(self._kdes, weights, cache=self._cache_arg)
 
 
 @lru_cache(maxsize=1)

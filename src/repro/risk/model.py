@@ -26,17 +26,13 @@ DEFAULT_GAMMA_H = 1e5
 #: The paper's default forecast-risk tuning parameter (Section 5).
 DEFAULT_GAMMA_F = 1e3
 
-#: Per-network o_h cache for the *default* historical model — the KDE
-#: sweep over a large network costs seconds and every experiment needs it.
-_DEFAULT_OH_CACHE: Dict[str, Dict[str, float]] = {}
-
 
 def _default_pop_risks(network: Network) -> Dict[str, float]:
-    if network.name not in _DEFAULT_OH_CACHE:
-        _DEFAULT_OH_CACHE[network.name] = default_historical_model().pop_risks(
-            network
-        )
-    return dict(_DEFAULT_OH_CACHE[network.name])
+    # The historical model caches o_h vectors under its content
+    # fingerprint x the PoP coordinates (in process and on disk), so
+    # repeated builds are lookups and two distinct networks sharing a
+    # name can never collide (the old per-name cache here could).
+    return default_historical_model().pop_risks(network)
 
 
 class RiskModel:

@@ -57,7 +57,7 @@ from .protocol import (
     encode_reply,
     parse_request,
 )
-from .service import QueryService
+from .service import QueryService, field_cache_stats
 from .stats import ServerStats
 
 __all__ = ["ServerConfig", "RiskRouteServer", "ServerThread"]
@@ -497,6 +497,7 @@ class RiskRouteServer:
         if self._faults is not None:
             payload["faults"] = self._faults.snapshot()
         payload["engine"] = self.session.stats()
+        payload["risk_field_cache"] = field_cache_stats()
         payload.update(self._network_info())
         return payload
 

@@ -77,6 +77,27 @@ def _wire_strategy(params: Dict[str, Any]):
 TOKEN_LEDGER_SIZE = 256
 
 
+def field_cache_stats() -> Dict[str, Any]:
+    """Hit/miss counters of the persistent risk-field cache.
+
+    Server cold starts pay the o_h KDE sweep only on a cold cache —
+    building the session's :class:`~repro.risk.model.RiskModel` routes
+    ``pop_risks`` through the fingerprinted disk cache, so a warm
+    restart loads the vector instead of evaluating kernels.  This
+    surfaces the counters (and the cache directory) in the ``stats``
+    op; ``{"enabled": False}`` when ``RISKROUTE_CACHE_DISABLE`` is set.
+    """
+    from ..stats.fieldcache import default_field_cache
+
+    cache = default_field_cache()
+    if cache is None:
+        return {"enabled": False}
+    stats = cache.stats.as_dict()
+    stats["enabled"] = True
+    stats["dir"] = str(cache.cache_dir)
+    return stats
+
+
 class QueryService:
     """Synchronous batch executor over one :class:`RoutingSession`."""
 

@@ -12,6 +12,14 @@ Event catalogs range from thousands (earthquakes) to >100k entries
 so folds are optionally subsampled with a seeded generator — the selected
 bandwidth is insensitive to this beyond the second decimal because the
 score curve is smooth in log-bandwidth.
+
+Rather than materialising a fresh training list and KDE per (candidate x
+fold) pair, the search builds **one** KDE (and one spatial bucket index)
+per candidate over the full working set and scores each fold through
+:meth:`~repro.stats.kde.GaussianKDE.holdout_log_density`, which masks the
+held-out rows out of the kernel sum.  Log scoring truncates only at the
+``exp``-underflow radius, where dropped kernels are exact float zeros —
+so fold scores match the rebuild-per-fold dense computation.
 """
 
 from __future__ import annotations
@@ -23,7 +31,7 @@ import numpy as np
 
 from ..geo.coords import GeoPoint
 from .divergence import empirical_kl_from_loglik
-from .kde import GaussianKDE
+from .kde import GaussianKDE, points_to_array
 
 __all__ = ["BandwidthSearchResult", "cross_validate_bandwidth", "log_space_candidates"]
 
@@ -103,20 +111,21 @@ def cross_validate_bandwidth(
     if max_events is not None and len(working) > max_events:
         picks = rng.choice(len(working), size=max_events, replace=False)
         working = [working[i] for i in sorted(picks)]
+    working_array = points_to_array(working)
 
     folds = _fold_indices(len(working), n_folds, rng)
     scores: List[float] = []
     for bandwidth in candidates:
+        # One KDE — and one bucket index — per candidate; every fold
+        # reuses it, scoring the held-out rows against the masked
+        # complement (same result as fitting on the training folds).
+        kde = GaussianKDE.from_array(working_array, bandwidth)
         fold_scores: List[float] = []
         for held_out in folds:
-            held_set = set(int(i) for i in held_out)
-            train = [p for i, p in enumerate(working) if i not in held_set]
-            test = [working[int(i)] for i in held_out]
-            if not train or not test:
+            if held_out.size == 0 or held_out.size == len(working):
                 continue
-            kde = GaussianKDE(train, bandwidth)
             fold_scores.append(
-                empirical_kl_from_loglik(kde.log_density_many(test))
+                empirical_kl_from_loglik(kde.holdout_log_density(held_out))
             )
         scores.append(float(np.mean(fold_scores)))
 

@@ -9,12 +9,49 @@ with a Gaussian kernel.  Working directly in latitude/longitude degrees
 would distort distances with latitude, so we evaluate the kernel on
 great-circle distance in miles: the bandwidth ``sigma`` is expressed in
 miles, matching the scale of the trained values in Table 1.
+
+Truncated, cell-binned evaluation
+---------------------------------
+
+A dense evaluation is O(M x N): every query point against every event —
+41M haversine/exp pairs for one Level3 sweep over the full five-class
+corpus.  Almost all of that work is spent on kernel values that are
+indistinguishable from zero: at ``cutoff_sigmas = 8`` standard
+deviations the Gaussian has decayed to ``exp(-32) < 1.3e-14`` of its
+peak.  The default evaluation path therefore
+
+* snaps every event into a uniform 3-D bucket grid over the unit sphere
+  (cell edge = the chord length of the cutoff radius, so any event
+  within the cutoff of a query lies in the query cell's 3x3x3
+  neighborhood — no latitude or antimeridian special cases), and
+* evaluates each query chunk against only the events gathered from the
+  neighboring buckets, in ascending event order.
+
+**Error bound.**  The truncated density can only *undercount*, by the
+kernels of events farther than ``c = cutoff_sigmas`` deviations.  Each
+dropped event contributes less than ``exp(-c^2/2)`` before
+normalisation, and the normaliser carries a ``1/N``, so
+
+    |density_truncated(y) - density_exact(y)| <= exp(-c^2/2) / (2 pi sigma^2)
+
+independently of the catalog size.  At the default ``c = 8`` that is
+``1.3e-14 / (2 pi sigma^2)`` per square mile — more than five orders of
+magnitude below the 1e-9 relative agreement the benchmarks pin in dense
+regions.  Pass ``cutoff_sigmas=None`` for the exact dense path.
+
+**Log densities** are used for held-out likelihood scoring, where the
+exponentially small tails *matter* (a 1e-300 floor and a dropped
+``exp(-40)`` kernel give wildly different scores).  The log path
+therefore widens the truncation to :data:`UNDERFLOW_SIGMAS` (~38.6
+deviations), beyond which ``exp`` underflows to an exact float zero:
+the events it skips contribute literal ``0.0`` terms to the dense sum,
+so truncation there is lossless, not approximate.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,16 +59,33 @@ from ..geo.coords import GeoPoint
 from ..geo.distance import EARTH_RADIUS_MILES
 from ..geo.grid import GeoGrid, GridField
 
-__all__ = ["GaussianKDE", "points_to_array"]
+__all__ = [
+    "GaussianKDE",
+    "points_to_array",
+    "DEFAULT_CUTOFF_SIGMAS",
+    "UNDERFLOW_SIGMAS",
+]
+
+#: Default kernel truncation radius in standard deviations.  At 8
+#: deviations the dropped tail is bounded by exp(-32)/(2 pi sigma^2)
+#: (see the module docstring), far below every tolerance in the suite.
+DEFAULT_CUTOFF_SIGMAS = 8.0
+
+#: Beyond this many deviations ``exp(-d^2 / 2 sigma^2)`` underflows to
+#: an exact float64 zero (exp(x) == 0.0 for x < -745.14), so truncating
+#: there drops only terms that are identically 0.0 in the dense sum.
+UNDERFLOW_SIGMAS = 38.7
+
+#: Work-matrix budget: a (queries x events) chunk is kept under ~8M
+#: doubles so huge catalogs (the 143k-event wind class) stay in memory.
+_WORK_BUDGET = 8_000_000
 
 
 def points_to_array(points: Sequence[GeoPoint]) -> "np.ndarray":
     """Convert GeoPoints to an (N, 2) float array of (lat, lon) degrees."""
-    arr = np.empty((len(points), 2), dtype=np.float64)
-    for i, p in enumerate(points):
-        arr[i, 0] = p.lat
-        arr[i, 1] = p.lon
-    return arr
+    if not points:
+        return np.zeros((0, 2), dtype=np.float64)
+    return np.array([(p.lat, p.lon) for p in points], dtype=np.float64)
 
 
 def _haversine_matrix_miles(
@@ -52,14 +106,115 @@ def _haversine_matrix_miles(
     return 2.0 * EARTH_RADIUS_MILES * np.arcsin(np.sqrt(h))
 
 
+def _unit_xyz(latlon_deg: "np.ndarray") -> "np.ndarray":
+    """(M, 3) unit-sphere embedding of (lat, lon) degree rows."""
+    rad = np.radians(latlon_deg)
+    cos_lat = np.cos(rad[:, 0])
+    return np.column_stack(
+        [
+            cos_lat * np.cos(rad[:, 1]),
+            cos_lat * np.sin(rad[:, 1]),
+            np.sin(rad[:, 0]),
+        ]
+    )
+
+
+def _chord_of_miles(distance_miles: float) -> float:
+    """Unit-sphere chord length subtending a great-circle distance.
+
+    Distances at or beyond half the circumference cover the whole
+    sphere; the chord saturates at the diameter (2.0).
+    """
+    half_circumference = math.pi * EARTH_RADIUS_MILES
+    if distance_miles >= half_circumference:
+        return 2.0
+    return 2.0 * math.sin(distance_miles / (2.0 * EARTH_RADIUS_MILES))
+
+
+class _BucketIndex:
+    """Events binned into a uniform 3-D grid over the unit sphere.
+
+    Cells are cubes of edge ``cell`` in the sphere's embedding space, so
+    two points whose chord distance is at most ``k * cell`` differ by at
+    most ``k`` per axis index: a radius-``r`` query only has to gather
+    the ``(2k+1)^3`` neighboring buckets with ``k = ceil(chord(r) /
+    cell)``.  Bucket arrays hold ascending event indices, and gathered
+    candidate sets are re-sorted, so truncated kernel sums visit events
+    in the same order as the dense path.
+    """
+
+    def __init__(self, xyz: "np.ndarray", cell: float) -> None:
+        self.cell = float(cell)
+        self.n_events = xyz.shape[0]
+        cells = np.floor(xyz / self.cell).astype(np.int64)
+        # Stable lexsort keeps ascending event order within each bucket.
+        order = np.lexsort((cells[:, 2], cells[:, 1], cells[:, 0]))
+        sorted_cells = cells[order]
+        boundaries = np.flatnonzero(
+            np.any(np.diff(sorted_cells, axis=0), axis=1)
+        )
+        starts = np.concatenate(([0], boundaries + 1))
+        ends = np.concatenate((boundaries + 1, [len(order)]))
+        self._buckets = {
+            tuple(sorted_cells[s]): order[s:e] for s, e in zip(starts, ends)
+        }
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def cell_keys(self, xyz: "np.ndarray") -> "np.ndarray":
+        """(M, 3) integer cell coordinates for query embeddings."""
+        return np.floor(xyz / self.cell).astype(np.int64)
+
+    def candidates(self, key: Tuple[int, int, int], reach: int) -> "np.ndarray":
+        """Ascending event indices within ``reach`` cells of ``key``.
+
+        When the scan volume exceeds the number of occupied buckets the
+        loop flips to iterating occupied buckets instead, so huge reach
+        values (the log path's underflow cutoff) degrade to "all
+        events" rather than an empty (2k+1)^3 sweep.
+        """
+        parts: List["np.ndarray"] = []
+        if (2 * reach + 1) ** 3 >= len(self._buckets):
+            i, j, k = key
+            for cell_key, bucket in self._buckets.items():
+                if (
+                    abs(cell_key[0] - i) <= reach
+                    and abs(cell_key[1] - j) <= reach
+                    and abs(cell_key[2] - k) <= reach
+                ):
+                    parts.append(bucket)
+        else:
+            i, j, k = key
+            buckets = self._buckets
+            for di in range(-reach, reach + 1):
+                for dj in range(-reach, reach + 1):
+                    for dk in range(-reach, reach + 1):
+                        bucket = buckets.get((i + di, j + dj, k + dk))
+                        if bucket is not None:
+                            parts.append(bucket)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.sort(np.concatenate(parts))
+
+
 class GaussianKDE:
     """A 2-D Gaussian kernel density estimate over geographic points.
 
     Args:
         events: the observed event locations (at least one).
         bandwidth_miles: the kernel bandwidth ``sigma`` in miles.
-        chunk_size: events are processed in chunks of this many query
+        chunk_size: queries are processed in chunks of up to this many
             points to bound peak memory on large catalogs.
+        cutoff_sigmas: kernel truncation radius in standard deviations
+            (see the module docstring for the error bound); ``None``
+            selects the exact dense path.
+        workers: thread fan-out for chunked evaluation (NumPy releases
+            the GIL inside the haversine/exp kernels); 0 or 1 is
+            serial.  Results are identical regardless of scheduling —
+            every task writes a disjoint output slice.
 
     Densities are per square mile, normalised in the flat-Earth (local
     tangent plane) approximation — exact enough at continental scale for
@@ -71,8 +226,48 @@ class GaussianKDE:
         events: Sequence[GeoPoint],
         bandwidth_miles: float,
         chunk_size: int = 2048,
+        cutoff_sigmas: Optional[float] = DEFAULT_CUTOFF_SIGMAS,
+        workers: int = 0,
     ) -> None:
-        if len(events) == 0:
+        self._init_from_array(
+            points_to_array(events),
+            bandwidth_miles,
+            chunk_size=chunk_size,
+            cutoff_sigmas=cutoff_sigmas,
+            workers=workers,
+        )
+
+    @classmethod
+    def from_array(
+        cls,
+        latlon_deg: "np.ndarray",
+        bandwidth_miles: float,
+        chunk_size: int = 2048,
+        cutoff_sigmas: Optional[float] = DEFAULT_CUTOFF_SIGMAS,
+        workers: int = 0,
+    ) -> "GaussianKDE":
+        """Build a KDE directly from an (N, 2) (lat, lon) degree array."""
+        kde = cls.__new__(cls)
+        kde._init_from_array(
+            np.asarray(latlon_deg, dtype=np.float64),
+            bandwidth_miles,
+            chunk_size=chunk_size,
+            cutoff_sigmas=cutoff_sigmas,
+            workers=workers,
+        )
+        return kde
+
+    def _init_from_array(
+        self,
+        events: "np.ndarray",
+        bandwidth_miles: float,
+        chunk_size: int,
+        cutoff_sigmas: Optional[float],
+        workers: int,
+    ) -> None:
+        if events.ndim != 2 or events.shape[1] != 2:
+            raise ValueError("expected an (N, 2) array of (lat, lon)")
+        if events.shape[0] == 0:
             raise ValueError("KDE requires at least one event")
         if not math.isfinite(bandwidth_miles) or bandwidth_miles <= 0:
             raise ValueError(
@@ -80,22 +275,67 @@ class GaussianKDE:
             )
         if chunk_size < 1:
             raise ValueError("chunk_size must be >= 1")
-        self._events = points_to_array(events)
+        if cutoff_sigmas is not None and (
+            not math.isfinite(cutoff_sigmas) or cutoff_sigmas <= 0
+        ):
+            raise ValueError(
+                f"cutoff_sigmas must be positive or None, got {cutoff_sigmas!r}"
+            )
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self._events = events
         self.bandwidth_miles = float(bandwidth_miles)
-        # Bound the (chunk x events) work matrix to ~8M doubles so huge
-        # catalogs (the 143k-event wind class) stay within memory.
+        self.cutoff_sigmas = (
+            None if cutoff_sigmas is None else float(cutoff_sigmas)
+        )
+        self.workers = int(workers)
         self._chunk_size = max(
-            1, min(int(chunk_size), 8_000_000 // max(1, len(events)))
+            1, min(int(chunk_size), _WORK_BUDGET // max(1, len(events)))
         )
         # Normalisation of a 2-D Gaussian: 1 / (2 pi sigma^2 N).
         self._norm = 1.0 / (
             2.0 * math.pi * self.bandwidth_miles**2 * len(events)
         )
+        self._index: Optional[_BucketIndex] = None
+        self._fingerprint: Optional[str] = None
+
+    # -- identity ----------------------------------------------------------
 
     @property
     def n_events(self) -> int:
         """Number of events backing the estimate."""
         return self._events.shape[0]
+
+    @property
+    def events_array(self) -> "np.ndarray":
+        """The (N, 2) (lat, lon) event array (do not mutate)."""
+        return self._events
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the estimate: events x bandwidth x
+        truncation.  Keys the persistent risk-field cache."""
+        if self._fingerprint is None:
+            # Lazy: repro.engine pulls in the risk layer at package
+            # import, which imports this module.
+            from ..engine.fingerprint import (
+                array_fingerprint,
+                combine_fingerprints,
+            )
+
+            self._fingerprint = combine_fingerprints(
+                [
+                    "kde:v1",
+                    array_fingerprint(self._events),
+                    float(self.bandwidth_miles).hex(),
+                    "exact"
+                    if self.cutoff_sigmas is None
+                    else float(self.cutoff_sigmas).hex(),
+                ]
+            )
+        return self._fingerprint
+
+    # -- evaluation --------------------------------------------------------
 
     def density(self, point: GeoPoint) -> float:
         """Estimated density (per square mile) at a single point."""
@@ -112,28 +352,185 @@ class GaussianKDE:
         latlon_deg = np.asarray(latlon_deg, dtype=np.float64)
         if latlon_deg.ndim != 2 or latlon_deg.shape[1] != 2:
             raise ValueError("expected an (M, 2) array of (lat, lon)")
-        out = np.empty(latlon_deg.shape[0], dtype=np.float64)
-        inv_two_sigma_sq = 1.0 / (2.0 * self.bandwidth_miles**2)
-        for start in range(0, latlon_deg.shape[0], self._chunk_size):
-            chunk = latlon_deg[start : start + self._chunk_size]
-            dist = _haversine_matrix_miles(chunk, self._events)
-            kernel = np.exp(-(dist**2) * inv_two_sigma_sq)
-            out[start : start + chunk.shape[0]] = kernel.sum(axis=1)
-        return out * self._norm
+        return self._kernel_sums(latlon_deg, self.cutoff_sigmas) * self._norm
 
     def log_density_many(self, points: Sequence[GeoPoint]) -> "np.ndarray":
         """Natural log of the density at each point, floored to avoid -inf.
 
         Densities below 1e-300 are floored so held-out log-likelihood
         scoring stays finite for points far from every training event.
+        The truncation radius is widened to :data:`UNDERFLOW_SIGMAS`
+        here, where dropped kernels are exact float zeros — log scores
+        match the dense path bit-for-float-sum.
         """
-        dens = self.density_many(points)
-        return np.log(np.maximum(dens, 1e-300))
+        if not points:
+            return np.zeros(0, dtype=np.float64)
+        latlon = points_to_array(points)
+        sums = self._kernel_sums(latlon, self._log_cutoff())
+        return np.log(np.maximum(sums * self._norm, 1e-300))
 
-    def evaluate_grid(self, grid: GeoGrid) -> GridField:
+    def holdout_log_density(
+        self, heldout_indices: "np.ndarray"
+    ) -> "np.ndarray":
+        """Log density at the held-out events under the complement fit.
+
+        This is the cross-validation kernel of Table 1: the held-out
+        fold is scored against a KDE over every *other* event, without
+        rebuilding a KDE (or its bucket index) per fold — the shared
+        index is queried with the held-out rows masked out.
+
+        Raises:
+            ValueError: when the held-out set leaves no training events.
+        """
+        heldout = np.asarray(heldout_indices, dtype=np.int64)
+        n_train = self.n_events - heldout.shape[0]
+        if n_train < 1:
+            raise ValueError("held-out set leaves no training events")
+        exclude = np.zeros(self.n_events, dtype=bool)
+        exclude[heldout] = True
+        sums = self._kernel_sums(
+            self._events[heldout], self._log_cutoff(), exclude=exclude
+        )
+        norm = 1.0 / (2.0 * math.pi * self.bandwidth_miles**2 * n_train)
+        return np.log(np.maximum(sums * norm, 1e-300))
+
+    def evaluate_grid(self, grid: GeoGrid, cache="default") -> GridField:
         """Evaluate the density at every cell centre of ``grid``.
 
         This is the computation behind the likelihood maps in Figure 4.
+        ``cache`` is a :class:`~repro.stats.fieldcache.RiskFieldCache`
+        (``"default"`` resolves the process-wide one, ``None`` disables
+        persistence): the field is stored under the KDE's content
+        fingerprint x the grid spec, so a warm cache skips the sweep.
         """
+        from .fieldcache import grid_field_key, resolve_cache
+
+        store = resolve_cache(cache)
+        key = None
+        if store is not None:
+            key = grid_field_key(self.fingerprint, grid)
+            values = store.get("grid", key)
+            if values is not None and values.shape == (
+                grid.n_lat * grid.n_lon,
+            ):
+                return GridField(grid, values.reshape(grid.shape))
         values = self.density_array(grid.centers_array())
+        if store is not None:
+            store.put("grid", key, values)
         return GridField(grid, values.reshape(grid.shape))
+
+    # -- kernel machinery --------------------------------------------------
+
+    def _log_cutoff(self) -> Optional[float]:
+        if self.cutoff_sigmas is None:
+            return None
+        return max(self.cutoff_sigmas, UNDERFLOW_SIGMAS)
+
+    def _get_index(self) -> _BucketIndex:
+        if self._index is None:
+            assert self.cutoff_sigmas is not None
+            radius = self.cutoff_sigmas * self.bandwidth_miles
+            cell = max(_chord_of_miles(radius), 1e-12)
+            self._index = _BucketIndex(_unit_xyz(self._events), cell)
+        return self._index
+
+    def _kernel_sums(
+        self,
+        latlon_deg: "np.ndarray",
+        cutoff_sigmas: Optional[float],
+        exclude: Optional["np.ndarray"] = None,
+    ) -> "np.ndarray":
+        """Sum of unnormalised kernels at each query row.
+
+        ``exclude`` is an optional length-N boolean mask of events to
+        leave out (cross-validation holds folds out this way).
+        """
+        if latlon_deg.shape[0] == 0:
+            return np.zeros(0, dtype=np.float64)
+        if cutoff_sigmas is None:
+            return self._dense_sums(latlon_deg, exclude)
+        return self._truncated_sums(latlon_deg, cutoff_sigmas, exclude)
+
+    def _dense_sums(
+        self, latlon_deg: "np.ndarray", exclude: Optional["np.ndarray"]
+    ) -> "np.ndarray":
+        events = self._events if exclude is None else self._events[~exclude]
+        if events.shape[0] == 0:
+            return np.zeros(latlon_deg.shape[0], dtype=np.float64)
+        out = np.empty(latlon_deg.shape[0], dtype=np.float64)
+        inv_two_sigma_sq = 1.0 / (2.0 * self.bandwidth_miles**2)
+        chunk_rows = max(1, _WORK_BUDGET // events.shape[0])
+        chunk_rows = min(chunk_rows, self._chunk_size)
+        tasks = list(range(0, latlon_deg.shape[0], chunk_rows))
+
+        def run(start: int) -> None:
+            chunk = latlon_deg[start : start + chunk_rows]
+            dist = _haversine_matrix_miles(chunk, events)
+            kernel = np.exp(-(dist**2) * inv_two_sigma_sq)
+            out[start : start + chunk.shape[0]] = kernel.sum(axis=1)
+
+        self._fan_out(run, tasks)
+        return out
+
+    def _truncated_sums(
+        self,
+        latlon_deg: "np.ndarray",
+        cutoff_sigmas: float,
+        exclude: Optional["np.ndarray"],
+    ) -> "np.ndarray":
+        index = self._get_index()
+        radius = cutoff_sigmas * self.bandwidth_miles
+        reach = max(
+            1, int(math.ceil(_chord_of_miles(radius) / index.cell))
+        )
+        qxyz = _unit_xyz(latlon_deg)
+        keys = index.cell_keys(qxyz)
+        out = np.zeros(latlon_deg.shape[0], dtype=np.float64)
+        inv_two_sigma_sq = 1.0 / (2.0 * self.bandwidth_miles**2)
+
+        # Group queries sharing a cell: one candidate gather per group.
+        order = np.lexsort((keys[:, 2], keys[:, 1], keys[:, 0]))
+        sorted_keys = keys[order]
+        boundaries = np.flatnonzero(
+            np.any(np.diff(sorted_keys, axis=0), axis=1)
+        )
+        starts = np.concatenate(([0], boundaries + 1))
+        ends = np.concatenate((boundaries + 1, [len(order)]))
+        groups = [
+            (tuple(sorted_keys[s]), order[s:e]) for s, e in zip(starts, ends)
+        ]
+
+        def run(group) -> None:
+            key, query_rows = group
+            cand = index.candidates(key, reach)
+            if exclude is not None and cand.size:
+                cand = cand[~exclude[cand]]
+            if cand.size == 0:
+                return  # out already zero
+            events = self._events[cand]
+            chunk_rows = max(1, _WORK_BUDGET // cand.size)
+            chunk_rows = min(chunk_rows, self._chunk_size)
+            for start in range(0, query_rows.shape[0], chunk_rows):
+                rows = query_rows[start : start + chunk_rows]
+                dist = _haversine_matrix_miles(latlon_deg[rows], events)
+                kernel = np.exp(-(dist**2) * inv_two_sigma_sq)
+                out[rows] = kernel.sum(axis=1)
+
+        self._fan_out(run, groups)
+        return out
+
+    def _fan_out(self, run, tasks) -> None:
+        """Run every task, across threads when configured.
+
+        Each task writes a disjoint slice of the output, so the result
+        is identical whatever the scheduling.
+        """
+        if self.workers > 1 and len(tasks) > 1:
+            # Lazy: repro.engine imports the risk layer, which imports
+            # this module — resolve the fan-out helper at call time.
+            from ..engine.parallel import thread_map
+
+            thread_map(run, tasks, self.workers)
+            return
+        for task in tasks:
+            run(task)

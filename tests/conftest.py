@@ -8,11 +8,30 @@ integration tests.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.geo.coords import GeoPoint
 from repro.risk.model import RiskModel
 from repro.topology.network import Network, NetworkTier, PoP
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_field_cache(tmp_path_factory):
+    """Point the persistent risk-field cache at a per-session tmp dir.
+
+    Keeps the suite hermetic: runs never read stale fields from (or
+    leak entries into) the developer's ~/.cache/riskroute.
+    """
+    cache_dir = tmp_path_factory.mktemp("riskroute-cache")
+    previous = os.environ.get("RISKROUTE_CACHE_DIR")
+    os.environ["RISKROUTE_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("RISKROUTE_CACHE_DIR", None)
+    else:
+        os.environ["RISKROUTE_CACHE_DIR"] = previous
 
 
 def build_diamond_network() -> Network:

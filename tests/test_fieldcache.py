@@ -1,0 +1,166 @@
+"""Tests for the persistent risk-field cache (repro.stats.fieldcache)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.stats.fieldcache import (
+    RiskFieldCache,
+    content_key,
+    default_field_cache,
+    resolve_cache,
+)
+
+
+class TestRiskFieldCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        key = content_key(["k1"])
+        assert cache.get("oh", key) is None
+        assert cache.stats.misses == 1
+        values = np.array([1.0, 2.5, -3.0])
+        cache.put("oh", key, values)
+        loaded = cache.get("oh", key)
+        np.testing.assert_array_equal(loaded, values)
+        assert cache.stats.hits == 1
+
+    def test_kinds_are_separate_namespaces(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        key = content_key(["shared"])
+        cache.put("oh", key, np.array([1.0]))
+        assert cache.get("grid", key) is None
+
+    def test_invalidate(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        key = content_key(["k"])
+        cache.put("oh", key, np.array([1.0]))
+        assert cache.invalidate("oh", key) is True
+        assert cache.stats.invalidations == 1
+        assert cache.invalidate("oh", key) is False
+        assert cache.get("oh", key) is None
+
+    def test_clear(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        for i in range(3):
+            cache.put("oh", content_key([str(i)]), np.array([float(i)]))
+        assert cache.clear() == 3
+        assert cache.get("oh", content_key(["0"])) is None
+
+    def test_corrupted_entry_recovers(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        key = content_key(["corrupt"])
+        cache.put("oh", key, np.array([4.0, 5.0]))
+        path = tmp_path / f"oh-{key}.npy"
+        path.write_bytes(b"not a numpy file at all")
+        # Treated as a miss, and the bad file is removed.
+        assert cache.get("oh", key) is None
+        assert not path.exists()
+        # The caller recomputes and re-stores; everything works again.
+        cache.put("oh", key, np.array([4.0, 5.0]))
+        np.testing.assert_array_equal(cache.get("oh", key), [4.0, 5.0])
+
+    def test_truncated_entry_recovers(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        key = content_key(["torn"])
+        cache.put("oh", key, np.arange(100, dtype=np.float64))
+        path = tmp_path / f"oh-{key}.npy"
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.get("oh", key) is None
+        assert not path.exists()
+
+    def test_put_failure_is_swallowed(self, tmp_path):
+        missing_parent = tmp_path / "file"
+        missing_parent.write_text("in the way")
+        cache = RiskFieldCache(missing_parent / "sub")
+        # mkdir under a regular file fails; put must not raise.
+        cache.put("oh", content_key(["x"]), np.array([1.0]))
+        assert cache.get("oh", content_key(["x"])) is None
+
+    def test_bad_kind_rejected(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.get("../escape", "key")
+
+    def test_content_key_is_order_sensitive(self):
+        assert content_key(["a", "b"]) != content_key(["b", "a"])
+        assert content_key(["a", "b"]) == content_key(["a", "b"])
+
+
+class TestResolution:
+    def test_default_honours_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("RISKROUTE_CACHE_DIR", str(tmp_path / "alt"))
+        cache = default_field_cache()
+        assert cache is not None
+        assert cache.cache_dir == tmp_path / "alt"
+        # Same dir resolves to the same instance (shared stats).
+        assert default_field_cache() is cache
+
+    def test_disable_env(self, monkeypatch):
+        monkeypatch.setenv("RISKROUTE_CACHE_DISABLE", "1")
+        assert default_field_cache() is None
+        assert resolve_cache("default") is None
+
+    def test_resolve_passthrough(self, tmp_path):
+        cache = RiskFieldCache(tmp_path)
+        assert resolve_cache(cache) is cache
+        assert resolve_cache(None) is None
+        with pytest.raises(TypeError):
+            resolve_cache("bogus")
+
+
+#: Runs a small pop_risks in a child process and prints the resulting
+#: o_h values and cache counters as JSON.
+_SMOKE_SCRIPT = """
+import json
+from repro.geo.coords import GeoPoint
+from repro.risk.historical import HistoricalRiskModel
+from repro.stats.fieldcache import default_field_cache
+from repro.stats.kde import GaussianKDE
+from repro.topology.network import Network, PoP
+
+events = [GeoPoint(30.0 + d, -90.0 + d) for d in (-0.2, -0.1, 0.0, 0.1, 0.2)]
+model = HistoricalRiskModel({"storm": GaussianKDE(events, 40.0)})
+net = Network("smoke")
+net.add_pop(PoP("smoke:a", "A", GeoPoint(30.0, -90.0)))
+net.add_pop(PoP("smoke:b", "B", GeoPoint(45.0, -110.0)))
+net.add_link("smoke:a", "smoke:b")
+risks = model.pop_risks(net)
+stats = default_field_cache().stats
+print(json.dumps({"risks": risks, "hits": stats.hits, "misses": stats.misses}))
+"""
+
+
+class TestColdWarmAcrossProcesses:
+    def test_second_process_hits_disk_and_matches(self, tmp_path):
+        """A warm disk cache serves pop_risks to a *fresh* process.
+
+        Cold process: pure miss, KDE evaluated, vector stored.  Warm
+        process: pure hit — no KDE evaluation — identical values.
+        """
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env = dict(os.environ)
+        env["RISKROUTE_CACHE_DIR"] = str(tmp_path)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+
+        def run():
+            proc = subprocess.run(
+                [sys.executable, "-c", _SMOKE_SCRIPT],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            return json.loads(proc.stdout)
+
+        cold = run()
+        assert cold["misses"] >= 1 and cold["hits"] == 0
+        warm = run()
+        assert warm["hits"] >= 1 and warm["misses"] == 0
+        assert warm["risks"] == cold["risks"]

@@ -60,6 +60,48 @@ class TestKdeProperties:
                 kde.density(query), value, rel_tol=1e-9, abs_tol=1e-300
             )
 
+    @given(
+        event_lists,
+        bandwidths,
+        st.lists(points, min_size=1, max_size=10),
+        st.floats(min_value=7.0, max_value=12.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_matches_exact_within_bound(
+        self, events, bandwidth, queries, cutoff
+    ):
+        """Truncation error stays under the documented bound.
+
+        The module docstring derives |truncated - exact| <=
+        exp(-c^2/2) / (2 pi sigma^2) for cutoff c: dropped kernels each
+        contribute < exp(-c^2/2) and the normaliser carries the 1/N.
+        """
+        exact = GaussianKDE(events, bandwidth, cutoff_sigmas=None)
+        truncated = GaussianKDE(events, bandwidth, cutoff_sigmas=cutoff)
+        dense = exact.density_many(queries)
+        fast = truncated.density_many(queries)
+        bound = math.exp(-(cutoff**2) / 2.0) / (
+            2.0 * math.pi * bandwidth**2
+        )
+        np.testing.assert_allclose(fast, dense, rtol=1e-9, atol=bound)
+        # Truncation can only drop mass, never add it (up to float sum
+        # reordering).
+        assert np.all(fast <= dense * (1.0 + 1e-9) + 1e-300)
+
+    @given(event_lists, bandwidths, st.lists(points, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_log_density_truncation_lossless(self, events, bandwidth, queries):
+        """The log path truncates only exact-zero kernels, so scores
+        match dense mode to float-sum reordering."""
+        exact = GaussianKDE(events, bandwidth, cutoff_sigmas=None)
+        truncated = GaussianKDE(events, bandwidth)
+        np.testing.assert_allclose(
+            truncated.log_density_many(queries),
+            exact.log_density_many(queries),
+            rtol=1e-12,
+            atol=1e-12,
+        )
+
 
 def _distributions(size):
     return st.lists(

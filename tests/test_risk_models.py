@@ -81,6 +81,58 @@ class TestHistorical:
     def test_risk_many_empty(self):
         assert toy_historical().risk_many([]).shape == (0,)
 
+    def test_risks_array_matches_risk_many(self):
+        model = toy_historical()
+        points = [RISKY_SPOT, SAFE_SPOT]
+        latlon = np.array([(p.lat, p.lon) for p in points])
+        np.testing.assert_array_equal(
+            model.risks_array(latlon), model.risk_many(points)
+        )
+
+    def test_fingerprint_tracks_weights_and_kdes(self):
+        base = toy_historical()
+        assert base.fingerprint == toy_historical().fingerprint
+        assert base.fingerprint != base.reweighted({"storm": 2.0}).fingerprint
+
+    def test_pop_risks_cached_on_disk(self, tmp_path):
+        from repro.stats.fieldcache import RiskFieldCache
+
+        events = [GeoPoint(30.0 + d, -90.0 + d) for d in (-0.1, 0.0, 0.1)]
+        kdes = {"storm": GaussianKDE(events, 40.0)}
+        net = toy_network()
+        cold_cache = RiskFieldCache(tmp_path)
+        cold = HistoricalRiskModel(kdes, cache=cold_cache).pop_risks(net)
+        assert cold_cache.stats.misses == 1 and cold_cache.stats.hits == 0
+        # A fresh model instance (no in-process memo) hits the disk.
+        warm_cache = RiskFieldCache(tmp_path)
+        warm = HistoricalRiskModel(kdes, cache=warm_cache).pop_risks(net)
+        assert warm_cache.stats.hits == 1 and warm_cache.stats.misses == 0
+        assert warm == cold
+
+
+class TestDefaultOhCacheRegression:
+    def test_same_name_different_networks_get_distinct_oh(self, monkeypatch):
+        """Two distinct networks sharing a name must not share o_h.
+
+        The old module-level ``_DEFAULT_OH_CACHE`` keyed by
+        ``network.name`` only, so the second network silently reused
+        the first one's vector; content-fingerprint keying fixes it.
+        """
+        import repro.risk.model as risk_model
+
+        monkeypatch.setattr(
+            risk_model, "default_historical_model", toy_historical
+        )
+        near = Network("dup")
+        near.add_pop(PoP("dup:a", "A", RISKY_SPOT))
+        far = Network("dup")  # same name, different geography
+        far.add_pop(PoP("dup:a", "A", SAFE_SPOT))
+        model_near = RiskModel.for_network(near)
+        model_far = RiskModel.for_network(far)
+        assert model_near.historical_risk("dup:a") > model_far.historical_risk(
+            "dup:a"
+        )
+
 
 class TestForecasted:
     def snapshot(self):

@@ -110,12 +110,109 @@ class TestLogDensity:
         assert np.isfinite(logs[0])
 
 
+class TestTruncation:
+    def test_invalid_cutoff_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, 10.0, cutoff_sigmas=0.0)
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, 10.0, cutoff_sigmas=-3.0)
+        with pytest.raises(ValueError):
+            GaussianKDE(CLUSTER, 10.0, cutoff_sigmas=float("nan"))
+
+    def test_exact_mode_has_no_index(self):
+        kde = GaussianKDE(CLUSTER, 10.0, cutoff_sigmas=None)
+        assert kde.cutoff_sigmas is None
+        assert kde.density(CLUSTER[0]) > 0.0
+
+    def test_truncated_matches_exact_on_spread_events(self):
+        rng = np.random.default_rng(11)
+        events = np.column_stack(
+            [rng.uniform(25.0, 49.0, 400), rng.uniform(-124.0, -67.0, 400)]
+        )
+        queries = np.column_stack(
+            [rng.uniform(25.0, 49.0, 150), rng.uniform(-124.0, -67.0, 150)]
+        )
+        exact = GaussianKDE.from_array(events, 40.0, cutoff_sigmas=None)
+        fast = GaussianKDE.from_array(events, 40.0, cutoff_sigmas=8.0)
+        bound = math.exp(-32.0) / (2.0 * math.pi * 40.0**2)
+        np.testing.assert_allclose(
+            fast.density_array(queries),
+            exact.density_array(queries),
+            rtol=1e-9,
+            atol=bound,
+        )
+
+    def test_far_query_beyond_cutoff_is_zero(self):
+        # ~1800 miles from the cluster with a 5-mile bandwidth: every
+        # event is far outside 8 sigma, so the truncated sum is exactly
+        # zero (the dense value itself underflows to 0 there too).
+        kde = GaussianKDE(CLUSTER, 5.0)
+        assert kde.density(GeoPoint(48.0, -70.0)) == 0.0
+
+    def test_workers_do_not_change_results(self):
+        rng = np.random.default_rng(3)
+        events = np.column_stack(
+            [rng.uniform(30.0, 45.0, 200), rng.uniform(-110.0, -80.0, 200)]
+        )
+        queries = np.column_stack(
+            [rng.uniform(30.0, 45.0, 64), rng.uniform(-110.0, -80.0, 64)]
+        )
+        serial = GaussianKDE.from_array(events, 25.0, workers=0)
+        threaded = GaussianKDE.from_array(
+            events, 25.0, workers=4, chunk_size=16
+        )
+        np.testing.assert_array_equal(
+            serial.density_array(queries), threaded.density_array(queries)
+        )
+
+    def test_holdout_log_density_matches_refit(self):
+        rng = np.random.default_rng(5)
+        events = [
+            GeoPoint(float(lat), float(lon))
+            for lat, lon in zip(
+                rng.uniform(30.0, 45.0, 40), rng.uniform(-110.0, -80.0, 40)
+            )
+        ]
+        kde = GaussianKDE(events, 35.0)
+        held_out = np.array([3, 11, 27])
+        train = [p for i, p in enumerate(events) if i not in set(held_out)]
+        test = [events[i] for i in held_out]
+        refit = GaussianKDE(train, 35.0, cutoff_sigmas=None)
+        np.testing.assert_allclose(
+            kde.holdout_log_density(held_out),
+            refit.log_density_many(test),
+            rtol=1e-12,
+        )
+
+    def test_holdout_needs_training_events(self):
+        kde = GaussianKDE(CLUSTER, 30.0)
+        with pytest.raises(ValueError):
+            kde.holdout_log_density(np.array([0, 1, 2]))
+
+    def test_fingerprint_tracks_content(self):
+        base = GaussianKDE(CLUSTER, 30.0)
+        assert base.fingerprint == GaussianKDE(CLUSTER, 30.0).fingerprint
+        assert base.fingerprint != GaussianKDE(CLUSTER, 31.0).fingerprint
+        assert (
+            base.fingerprint
+            != GaussianKDE(CLUSTER, 30.0, cutoff_sigmas=None).fingerprint
+        )
+        assert (
+            base.fingerprint != GaussianKDE(CLUSTER[:2], 30.0).fingerprint
+        )
+
+
 class TestHelpers:
     def test_points_to_array(self):
         arr = points_to_array(CLUSTER)
         assert arr.shape == (3, 2)
         assert arr[0, 0] == 35.0
         assert arr[0, 1] == -95.0
+
+    def test_points_to_array_empty(self):
+        arr = points_to_array([])
+        assert arr.shape == (0, 2)
+        assert arr.dtype == np.float64
 
     def test_evaluate_grid_shape(self):
         grid = GeoGrid(CONTINENTAL_US, 10, 20)
@@ -125,3 +222,18 @@ class TestHelpers:
         # Peak cell should be near the cluster.
         assert abs(peak_location.lat - 35.0) < 2.0
         assert abs(peak_location.lon + 95.0) < 2.0
+
+    def test_evaluate_grid_uses_cache(self, tmp_path):
+        from repro.stats.fieldcache import RiskFieldCache
+
+        cache = RiskFieldCache(tmp_path)
+        grid = GeoGrid(CONTINENTAL_US, 6, 9)
+        kde = GaussianKDE(CLUSTER, 50.0)
+        cold = kde.evaluate_grid(grid, cache=cache)
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        warm = kde.evaluate_grid(grid, cache=cache)
+        assert cache.stats.hits == 1
+        np.testing.assert_array_equal(cold.values, warm.values)
+        # A different bandwidth misses: the key covers KDE identity.
+        GaussianKDE(CLUSTER, 51.0).evaluate_grid(grid, cache=cache)
+        assert cache.stats.misses == 2

@@ -8,8 +8,13 @@ Subcommands::
     riskroute corpus              # summarize the 23-network corpus
     riskroute route Level3 "Houston, TX" "Boston, MA" [--gamma-h 1e5]
     riskroute ratios Level3 [--strategy per-source] [--workers 4]
-    riskroute serve Level3 --port 4174
+    riskroute serve Level3 --port 4174 [--shards 4]
     riskroute query --port 4174 route "Level3:Houston, TX" "Level3:Boston, MA"
+
+The ``riskroute query`` subcommands are generated from the server's op
+registry (:mod:`repro.server.ops`): each registered op contributes one
+subcommand whose arguments come from the op's declared parameters, so
+the CLI cannot drift from the wire protocol.
 """
 
 from __future__ import annotations
@@ -106,12 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="recommendations to print when ranking (default: 10)",
     )
     prov_p.add_argument(
-        "--exact", action="store_true",
-        help="re-verify incremental matrices against a rebuild per link",
-    )
-    prov_p.add_argument(
-        "--verify-every", type=int, default=1, dest="verify_every",
-        help="with --exact, verify every N insertions (default: 1)",
+        "--verify-every", type=int, default=None, dest="verify_every",
+        help="re-verify incremental matrices against a rebuild every N "
+        "committed links (default: never)",
     )
     prov_p.add_argument(
         "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
@@ -148,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a batch waits for concurrent requests to coalesce "
         "(default: 0.002)",
     )
+    serve_p.add_argument(
+        "--shards", type=int, default=0,
+        help="fan query batches across this many shard processes over a "
+        "shared-memory engine export (default: 0 = in-process)",
+    )
 
     query_p = sub.add_parser("query", help="query a running daemon")
     query_p.add_argument("--host", default="127.0.0.1")
@@ -159,34 +166,37 @@ def build_parser() -> argparse.ArgumentParser:
         "this many times with backoff (default: 0)",
     )
     qsub = query_p.add_subparsers(dest="query_op", required=True)
-    q_route = qsub.add_parser("route", help="RiskRoute path for one pair")
-    q_route.add_argument("source", help='PoP id, e.g. "Level3:Houston, TX"')
-    q_route.add_argument("target")
-    q_route.add_argument("--strategy", choices=("exact", "per-source"))
-    q_pair = qsub.add_parser("pair", help="baseline + RiskRoute for one pair")
-    q_pair.add_argument("source")
-    q_pair.add_argument("target")
-    q_ratios = qsub.add_parser("ratios", help="all-pairs rr/dr (Eq. 5/6)")
-    q_ratios.add_argument("--strategy", choices=("exact", "per-source"))
-    q_prov = qsub.add_parser("provision", help="Equation 4 recommendations")
-    q_prov.add_argument("--k", type=int, default=1)
-    q_prov.add_argument("--top", type=int, default=None)
-    q_prov.add_argument(
-        "--exact", action="store_true",
-        help="re-verify incremental matrices against a rebuild per link",
-    )
-    q_prov.add_argument(
-        "--verify-every", type=int, default=1, dest="verify_every"
-    )
-    q_update = qsub.add_parser(
-        "update-forecast",
-        help="hot-swap forecast risk from a JSON file of {pop_id: o_f} "
-        "('-' reads stdin)",
-    )
-    q_update.add_argument("risk_file")
-    qsub.add_parser("stats", help="server + engine counters")
-    qsub.add_parser("health", help="liveness probe")
+    _add_query_subcommands(qsub)
     return parser
+
+
+def _add_query_subcommands(qsub) -> None:
+    """One ``riskroute query`` subcommand per registered op.
+
+    Each op's CLI-exposed parameters (``Param.cli`` hints) become
+    argparse arguments — positionals for required endpoints, flags with
+    the declared type/choices otherwise.  Ops with no CLI-exposed
+    params (``stats``, ``health``) get bare subcommands.
+    """
+    from .server import ops
+
+    for spec in ops.registered_ops():
+        sub_parser = qsub.add_parser(spec.command, help=spec.doc)
+        for param in spec.params:
+            if param.cli is None:
+                continue
+            hints = dict(param.cli)
+            hints.pop("loader", None)
+            hints.pop("dest", None)
+            positional = hints.pop("positional", False)
+            flag = hints.pop("flag", None)
+            hints.setdefault("help", param.doc)
+            if positional:
+                sub_parser.add_argument(param.name, **hints)
+            else:
+                sub_parser.add_argument(
+                    flag, dest=param.name, default=None, **hints
+                )
 
 
 def _cmd_list() -> int:
@@ -293,7 +303,9 @@ def _cmd_provision(args) -> int:
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
-    if args.k < 1 or args.verify_every < 1:
+    if args.k < 1 or (
+        args.verify_every is not None and args.verify_every < 1
+    ):
         print("--k and --verify-every must be >= 1", file=sys.stderr)
         return 2
     from .core.provisioning import ProvisioningAnalyzer
@@ -306,7 +318,7 @@ def _cmd_provision(args) -> int:
         recs = analyzer.rank_candidates(top=args.top)
     else:
         recs = analyzer.greedy_links(
-            args.k, exact=args.exact, verify_every=args.verify_every
+            args.k, verify_every=args.verify_every
         )
     for rank, rec in enumerate(recs, start=1):
         print(
@@ -358,17 +370,29 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
     session = RoutingSession(network, model)
+    if args.shards < 0:
+        print("--shards must be >= 0", file=sys.stderr)
+        return 2
     config = ServerConfig(
         host=args.host,
         port=args.port,
         max_pending=args.max_pending,
         request_timeout=args.request_timeout,
         batch_linger=args.batch_linger,
+        shards=args.shards,
     )
 
     async def _amain() -> None:
         server = RiskRouteServer(session, config)
         host, port = await server.start()
+        if args.shards > 0:
+            # stderr: stdout carries the machine-read banner below.
+            print(
+                f"sharded serving: {args.shards} worker processes over "
+                "a shared-memory engine export",
+                file=sys.stderr,
+                flush=True,
+            )
         print(
             f"serving {network.name} ({network.pop_count} PoPs) "
             f"on {host}:{port}",
@@ -412,32 +436,27 @@ def _cmd_query(args) -> int:
         print(f"cannot connect to {args.host}:{args.port}: {exc}",
               file=sys.stderr)
         return 2
+    from .server import ops
+
     try:
         with client:
-            if args.query_op == "route":
-                result = client.route(
-                    args.source, args.target, strategy=args.strategy
-                )
-            elif args.query_op == "pair":
-                result = client.pair(args.source, args.target)
-            elif args.query_op == "ratios":
-                result = client.ratios(strategy=args.strategy)
-            elif args.query_op == "provision":
-                result = client.provision(
-                    k=args.k, top=args.top,
-                    exact=args.exact, verify_every=args.verify_every,
-                )
-            elif args.query_op == "update-forecast":
-                if args.risk_file == "-":
-                    risk = json.load(sys.stdin)
-                else:
-                    with open(args.risk_file, encoding="utf-8") as handle:
-                        risk = json.load(handle)
-                result = client.update_forecast(risk)
-            elif args.query_op == "stats":
-                result = client.stats()
-            else:
-                result = client.health()
+            # Registry-driven dispatch: recover the spec behind the
+            # subcommand, collect its CLI-exposed params (running any
+            # declared loader, e.g. the update-forecast JSON file), and
+            # call the generated client method.
+            spec = ops.spec_for_cli(args.query_op)
+            params = {}
+            for param in spec.params:
+                if param.cli is None:
+                    continue
+                value = getattr(args, param.name, None)
+                if value is None:
+                    continue
+                loader = param.cli.get("loader")
+                if loader is not None:
+                    value = loader(value)
+                params[param.name] = value
+            result = getattr(client, spec.name)(**params)
             print(json.dumps(result, indent=2, sort_keys=True))
     except ServerError as exc:
         print(f"server error [{exc.code}]: {exc.message}", file=sys.stderr)

@@ -254,7 +254,7 @@ class _ComponentMatrices:
     * ``commit_link`` — the exact in-place edge-insertion update, using
       the engine's parametric-alpha suffix components;
     * ``verify`` — cross-check against a from-scratch rebuild (the
-      ``exact=True`` knob of the greedy search).
+      ``verify_every`` knob of the greedy search).
     """
 
     def __init__(
@@ -604,8 +604,7 @@ class ProvisioningAnalyzer:
         count: int,
         *,
         incremental: bool = True,
-        exact: bool = False,
-        verify_every: int = 1,
+        verify_every: Optional[int] = None,
     ) -> List[LinkRecommendation]:
         """Add ``count`` links greedily (Section 6.3's k-link extension,
         the computation behind Figure 10).
@@ -619,16 +618,16 @@ class ProvisioningAnalyzer:
         pass ``incremental=False`` for the historical
         rebuild-per-iteration loop (also the automatic fallback for
         disconnected topologies, where 0-filled unreachable entries make
-        the in-place relaxation unsound).  With ``exact=True`` the
-        incremental matrices are re-verified against a from-scratch
-        rebuild every ``verify_every`` insertions.
+        the in-place relaxation unsound).  ``verify_every=N`` re-verifies
+        the incremental matrices against a from-scratch rebuild every N
+        insertions; ``None`` (the default) never re-verifies.
 
         Raises:
             ValueError: for a non-positive count or verify interval.
         """
         if count < 1:
             raise ValueError("count must be >= 1")
-        if verify_every < 1:
+        if verify_every is not None and verify_every < 1:
             raise ValueError("verify_every must be >= 1")
         working = self.network.copy()
         if not incremental:
@@ -669,7 +668,7 @@ class ProvisioningAnalyzer:
                 link.length_miles,
                 stats=self.stats,
             )
-            if exact and step % verify_every == 0:
+            if verify_every is not None and step % verify_every == 0:
                 matrices.verify(working, stats=self.stats)
             out.append(
                 LinkRecommendation(

@@ -19,6 +19,7 @@ from .components import (
 )
 from .engine import (
     RoutingEngine,
+    adopt_engine,
     clear_engine_registry,
     get_engine,
     peek_engine,
@@ -34,6 +35,7 @@ __all__ = [
     "resolve_strategy",
     "get_engine",
     "peek_engine",
+    "adopt_engine",
     "clear_engine_registry",
     "ProvisioningStats",
     "sweep_component_arrays",

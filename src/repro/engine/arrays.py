@@ -19,7 +19,7 @@ processes), where list indexing beats numpy scalar access.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -63,6 +63,44 @@ class CsrGraph:
         self.indices_list = indices
         self.weights_list = weights
         self._wmap = wmap
+
+    @classmethod
+    def from_arrays(
+        cls,
+        node_ids: Sequence[str],
+        indptr: "np.ndarray",
+        indices: "np.ndarray",
+        weights: "np.ndarray",
+    ) -> "CsrGraph":
+        """Rebuild a CsrGraph directly from its CSR arrays.
+
+        The array transport for shard processes (see
+        :mod:`repro.engine.shm`): the numpy attributes are kept as the
+        arrays passed in — shared-memory views stay zero-copy — while
+        the list mirrors the pure-Python sweep loop indexes are
+        materialised locally (they are per-process working state, like
+        the ``index`` dict).  Row/entry order is preserved exactly, so
+        sweeps over the rebuilt graph relax edges in the same order and
+        reproduce the same tie-breaks as the original.
+        """
+        self = cls.__new__(cls)
+        self.node_ids = list(node_ids)
+        self.index = {name: i for i, name in enumerate(self.node_ids)}
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        indptr_list = [int(x) for x in indptr]
+        indices_list = [int(x) for x in indices]
+        weights_list = [float(x) for x in weights]
+        self.indptr_list = indptr_list
+        self.indices_list = indices_list
+        self.weights_list = weights_list
+        wmap: Dict[Tuple[int, int], float] = {}
+        for u in range(len(self.node_ids)):
+            for k in range(indptr_list[u], indptr_list[u + 1]):
+                wmap[(u, indices_list[k])] = weights_list[k]
+        self._wmap = wmap
+        return self
 
     @property
     def node_count(self) -> int:

@@ -53,7 +53,7 @@ class ProvisioningStats:
     matrix_builds: int = 0     # from-scratch _ComponentMatrices constructions
     matrix_updates: int = 0    # in-place edge-insertion updates applied
     candidates_scored: int = 0 # via-edge candidate evaluations
-    verifications: int = 0     # exact=True rebuild cross-checks
+    verifications: int = 0     # verify_every rebuild cross-checks
     max_verify_deviation: float = field(default=0.0)
 
     def as_dict(self) -> dict:

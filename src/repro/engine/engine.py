@@ -49,6 +49,7 @@ __all__ = [
     "RoutingEngine",
     "get_engine",
     "peek_engine",
+    "adopt_engine",
     "clear_engine_registry",
 ]
 
@@ -83,6 +84,53 @@ class RoutingEngine:
         self._results = ResultCache(self._config.result_cache_size)
         self.risk_fingerprint = ""
         self._bind_model(model)
+
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CsrGraph,
+        model: RiskModel,
+        config: Optional[EngineConfig] = None,
+        *,
+        fingerprint: str,
+        risk_state: Optional[tuple] = None,
+    ) -> "RoutingEngine":
+        """Build an engine over pre-flattened CSR arrays.
+
+        The shard-process constructor (see :mod:`repro.engine.shm`): a
+        child that mapped the parent's CSR segments rebuilds the engine
+        without ever materialising a :class:`~repro.graph.core.Graph`.
+        ``fingerprint`` must be the topology fingerprint of the graph
+        the arrays were flattened from — it is what keys the engine in
+        the shared registry (:func:`adopt_engine`), so sessions in the
+        child resolve to this engine instead of rebuilding.
+
+        ``risk_state`` — ``(risk, entry_risk, shares, risk_fingerprint)``
+        per-node/per-entry vectors already bound by the exporting
+        engine — skips the model re-binding entirely: the child adopts
+        the parent's exact risk field (same floats, same fingerprint)
+        instead of recomputing it.  Later model swaps rebind normally.
+        """
+        self = cls.__new__(cls)
+        self._config = config or EngineConfig()
+        self._csr = csr
+        self.topology_fingerprint = fingerprint
+        self._sweeps = SweepCache(self._config.sweep_cache_size)
+        self._results = ResultCache(self._config.result_cache_size)
+        self.risk_fingerprint = ""
+        if risk_state is None:
+            self._bind_model(model)
+            return self
+        risk, entry_risk, shares, risk_fp = risk_state
+        self.model = model
+        self._risk = [float(x) for x in risk]
+        self._entry_risk = [float(x) for x in entry_risk]
+        self._shares = [float(x) for x in shares]
+        self._mean_share = (
+            sum(self._shares) / len(self._shares) if self._shares else 0.0
+        )
+        self.risk_fingerprint = risk_fp
+        return self
 
     # -- model binding and invalidation -----------------------------------
 
@@ -593,6 +641,23 @@ def peek_engine(graph: Graph[str]) -> Optional[RoutingEngine]:
     engine = _REGISTRY.get(fingerprint)
     if engine is not None:
         _REGISTRY.move_to_end(fingerprint)
+    return engine
+
+
+def adopt_engine(engine: RoutingEngine) -> RoutingEngine:
+    """Register a pre-built engine under its topology fingerprint.
+
+    The shard-process entry point: a child that reconstructed an engine
+    from shared-memory arrays (:meth:`RoutingEngine.from_csr`) adopts
+    it so every :class:`~repro.session.RoutingSession` over the same
+    topology — which fingerprints its live graph and calls
+    :func:`get_engine` — resolves to the shared-memory engine instead
+    of flattening its own copy.
+    """
+    _REGISTRY[engine.topology_fingerprint] = engine
+    _REGISTRY.move_to_end(engine.topology_fingerprint)
+    while len(_REGISTRY) > _REGISTRY_MAX:
+        _REGISTRY.popitem(last=False)
     return engine
 
 

@@ -37,8 +37,18 @@ an optional :class:`~repro.server.client.RetryPolicy` (exponential
 backoff + jitter + budget) retries overloads, drains and drops for
 reads and token-guarded writes.
 
-Run one from the CLI (``riskroute serve Level3``), in-process
-(:class:`ServerThread`), or under your own loop
+Since the v2 envelope the whole API surface is table-driven: every op
+is declared once in the registry (:mod:`repro.server.ops`) — wire
+params, read/write/control classification, shard routing, coalescing
+plan, handler — and the protocol parser, the service dispatch, the
+client's generated per-op methods and the CLI subcommands all derive
+from it.  A daemon started with ``shards=N``
+(:class:`~repro.server.shards.ShardPool`) fans query batches across N
+worker processes over a shared-memory engine export, with writes
+applied in the parent and broadcast behind a fingerprint barrier.
+
+Run one from the CLI (``riskroute serve Level3 --shards 4``),
+in-process (:class:`ServerThread`), or under your own loop
 (:class:`RiskRouteServer`); talk to it with
 :class:`~repro.server.client.RiskRouteClient` or ``riskroute query``.
 """
@@ -47,11 +57,13 @@ from .client import RETRY_SAFE_OPS, RetryPolicy, RiskRouteClient, ServerError
 from .coalesce import CoalescingQueue, PendingRequest
 from .daemon import RiskRouteServer, ServerConfig, ServerThread
 from .faults import FAULT_SITES, FaultPlane, FaultRule, InjectedFault
+from .ops import REGISTRY, OpSpec, Param
 from .protocol import (
     CONTROL_OPS,
     ERROR_CODES,
     MAX_LINE_BYTES,
     OPS,
+    PROTOCOL_VERSION,
     QUERY_OPS,
     ProtocolError,
     Request,
@@ -59,7 +71,8 @@ from .protocol import (
     encode_reply,
     parse_request,
 )
-from .service import QueryService
+from .service import QueryService, SwapOutcome
+from .shards import ShardPool, shard_of
 from .stats import ServerStats
 
 __all__ = [
@@ -75,6 +88,12 @@ __all__ = [
     "InjectedFault",
     "FAULT_SITES",
     "QueryService",
+    "SwapOutcome",
+    "ShardPool",
+    "shard_of",
+    "OpSpec",
+    "Param",
+    "REGISTRY",
     "ServerStats",
     "CoalescingQueue",
     "PendingRequest",
@@ -83,6 +102,7 @@ __all__ = [
     "parse_request",
     "encode_reply",
     "encode_error",
+    "PROTOCOL_VERSION",
     "OPS",
     "QUERY_OPS",
     "CONTROL_OPS",

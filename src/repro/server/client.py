@@ -21,30 +21,47 @@ instead of reading a desynchronized stream.  With a
     client.route(src, dst)        # survives overloads, drops, restarts
 
 Retries respect exponential backoff with jitter and a total time
-budget, and only ever re-send what is safe: read ops
-(``route``/``pair``/``ratios``/``provision``/``stats``/``health``)
-always; ``update_forecast`` only when guarded by an idempotency token
-(one is generated automatically under a retry policy), which the server
-uses to apply a retried swap at most once.
+budget, and only ever re-send what is safe: the registry's retry-safe
+ops (reads and controls — see :data:`RETRY_SAFE_OPS`) always;
+``update_forecast`` only when guarded by an idempotency token (one is
+generated automatically under a retry policy), which the server uses
+to apply a retried swap at most once.
+
+The per-op methods (``route``/``pair``/``ratios``/``stats``/...) are
+**generated from the op registry** (:mod:`repro.server.ops`): each
+registered op becomes a typed wrapper over :meth:`RiskRouteClient.call`
+with a real signature (required params positional-or-keyword, optional
+params defaulted) and a docstring derived from the spec.  Hand-rolled
+methods survive only where behavior goes beyond the wire contract —
+``update_forecast`` (auto-tokening) and ``provision`` (the deprecated
+``exact=`` flag, kept as a warning shim).
+
+Requests carry the protocol version (``v``); a reply stamped with a
+*newer* envelope version than this client speaks raises a typed
+``unsupported_version`` :class:`ServerError` instead of failing on
+missing fields.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
 import random
 import socket
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Tuple
+
+from . import ops
+from .protocol import PROTOCOL_VERSION
 
 __all__ = ["RiskRouteClient", "RetryPolicy", "ServerError"]
 
-#: Ops that are safe to blindly re-send after a connection drop (pure
-#: reads of engine/server state).  ``update_forecast`` joins them only
-#: when token-guarded.
-RETRY_SAFE_OPS = frozenset(
-    {"route", "pair", "ratios", "provision", "stats", "health"}
-)
+#: Ops that are safe to blindly re-send after a connection drop —
+#: derived from the registry (``read`` and ``control`` ops; writes are
+#: excluded).  ``update_forecast`` joins them only when token-guarded.
+RETRY_SAFE_OPS = frozenset(ops.retry_safe_op_names())
 
 
 class ServerError(RuntimeError):
@@ -210,7 +227,9 @@ class RiskRouteClient:
 
     def _roundtrip(self, op: str, wire_params: Dict[str, Any]) -> dict:
         self._next_id += 1
-        payload: Dict[str, Any] = {"id": self._next_id, "op": op}
+        payload: Dict[str, Any] = {
+            "id": self._next_id, "op": op, "v": PROTOCOL_VERSION,
+        }
         payload.update(wire_params)
         self._file.write(
             json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
@@ -228,10 +247,25 @@ class RiskRouteClient:
             raise ConnectionError(
                 f"malformed reply from server ({exc}); connection dropped"
             ) from exc
+        version = reply.get("v", 1)
+        if isinstance(version, int) and version > PROTOCOL_VERSION:
+            # A newer server may shape replies in ways this client
+            # cannot parse: refuse with a typed error rather than
+            # KeyError on whatever fields moved.
+            raise ServerError(
+                "unsupported_version",
+                f"server replied with envelope v{version}; this client "
+                f"speaks <= v{PROTOCOL_VERSION}",
+            )
         if not reply.get("ok"):
             error = reply.get("error") or {}
             raise ServerError(
                 error.get("code", "internal"), error.get("message", "")
+            )
+        if "result" not in reply:
+            self._teardown()
+            raise ConnectionError(
+                "ok reply without a result field; connection dropped"
             )
         self.last_fingerprint = reply.get("fingerprint")
         return reply["result"]
@@ -252,48 +286,39 @@ class RiskRouteClient:
             raise exc
         time.sleep(delay)
 
-    # -- ops ---------------------------------------------------------------
-
-    def route(
-        self, source: str, target: str, strategy: Optional[str] = None
-    ) -> dict:
-        """The RiskRoute path for one pair."""
-        return self.call("route", source=source, target=target,
-                         strategy=strategy)
-
-    def pair(self, source: str, target: str) -> dict:
-        """Baseline and RiskRoute for one pair, with rr/dr terms."""
-        return self.call("pair", source=source, target=target)
-
-    def ratios(
-        self,
-        sources: Optional[Sequence[str]] = None,
-        targets: Optional[Sequence[str]] = None,
-        strategy: Optional[str] = None,
-    ) -> dict:
-        """Equation 5/6 aggregates over the (sub)population of pairs."""
-        return self.call(
-            "ratios",
-            sources=list(sources) if sources is not None else None,
-            targets=list(targets) if targets is not None else None,
-            strategy=strategy,
-        )
+    # -- hand-rolled ops (behavior beyond the wire contract) ---------------
+    #
+    # Every other per-op method is generated from the registry below.
 
     def provision(
         self,
         k: int = 1,
         top: Optional[int] = None,
-        exact: bool = False,
-        verify_every: int = 1,
+        verify_every: Optional[int] = None,
+        exact: Optional[bool] = None,
     ) -> dict:
         """Equation 4 link recommendations.
 
-        ``exact=True`` makes the greedy search re-verify its incremental
-        component matrices against a from-scratch rebuild every
-        ``verify_every`` insertions.
+        ``verify_every=N`` makes the greedy search re-verify its
+        incremental component matrices against a from-scratch rebuild
+        every N insertions (None — the default — never re-verifies).
+
+        ``exact`` is deprecated: it was the old switch for the same
+        re-verification and now merely maps ``exact=True`` to
+        ``verify_every=1`` (with a :class:`DeprecationWarning`); the
+        wire protocol no longer carries it.
         """
+        if exact is not None:
+            warnings.warn(
+                "the 'exact' flag is deprecated; pass verify_every=N to "
+                "re-verify incremental matrices every N insertions",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if exact and verify_every is None:
+                verify_every = 1
         return self.call(
-            "provision", k=k, top=top, exact=exact, verify_every=verify_every
+            "provision", k=k, top=top, verify_every=verify_every
         )
 
     def update_forecast(
@@ -317,10 +342,56 @@ class RiskRouteClient:
             "update_forecast", risk=dict(risk), default=default, token=token
         )
 
-    def stats(self) -> dict:
-        """Server counters, engine cache stats, current fingerprint."""
-        return self.call("stats")
 
-    def health(self) -> dict:
-        """Cheap liveness probe (bypasses the request queue)."""
-        return self.call("health")
+# -- registry-generated op wrappers ------------------------------------------
+
+
+def _wrapper_signature(spec: "ops.OpSpec") -> inspect.Signature:
+    kind = inspect.Parameter.POSITIONAL_OR_KEYWORD
+    parameters = [inspect.Parameter("self", kind)]
+    for param in spec.params:
+        default = inspect.Parameter.empty if param.required else param.default
+        parameters.append(inspect.Parameter(param.name, kind, default=default))
+    return inspect.Signature(parameters)
+
+
+def _op_wrapper(spec: "ops.OpSpec"):
+    """One typed client method, generated from an op spec.
+
+    The wrapper binds real positional/keyword arguments against the
+    spec-derived signature (so ``client.route("a", "b")`` works and a
+    wrong arity raises :class:`TypeError` at the call site, not on the
+    wire) and forwards through :meth:`RiskRouteClient.call` — None
+    values are dropped there, matching the specs' optional params.
+    """
+    signature = _wrapper_signature(spec)
+
+    def wrapper(*args: Any, **kwargs: Any) -> dict:
+        bound = signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        arguments = dict(bound.arguments)
+        self = arguments.pop("self")
+        return self.call(spec.name, **arguments)
+
+    lines = [spec.doc, ""]
+    for param in spec.params:
+        requirement = (
+            "required" if param.required else f"default {param.default!r}"
+        )
+        lines.append(f"    {param.name}: {param.doc} ({requirement})")
+    lines += [
+        "",
+        f"Generated from the op registry (op {spec.name!r}, "
+        f"kind {spec.kind!r}).",
+    ]
+    wrapper.__name__ = spec.name
+    wrapper.__qualname__ = f"RiskRouteClient.{spec.name}"
+    wrapper.__doc__ = "\n".join(lines)
+    wrapper.__signature__ = signature  # type: ignore[attr-defined]
+    return wrapper
+
+
+for _spec in ops.registered_ops():
+    if _spec.name not in RiskRouteClient.__dict__:
+        setattr(RiskRouteClient, _spec.name, _op_wrapper(_spec))
+del _spec

@@ -58,6 +58,7 @@ from .protocol import (
     parse_request,
 )
 from .service import QueryService, field_cache_stats
+from .shards import ShardPool
 from .stats import ServerStats
 
 __all__ = ["ServerConfig", "RiskRouteServer", "ServerThread"]
@@ -82,6 +83,13 @@ class ServerConfig:
         latency_window: service-time samples kept for p50/p99.
         faults: optional :class:`FaultPlane` for chaos tests; ``None``
             (production) disables every injection site.
+        shards: query-serving shard processes.  0 (the default) serves
+            in-process; N >= 1 fans query batches across N
+            :mod:`~repro.server.shards` workers over a shared-memory
+            engine export, with writes applied in the parent and
+            broadcast behind a fingerprint barrier.
+        shard_timeout: seconds the shard watchdog waits for one shard's
+            batch (or warm-up ping) before declaring it hung.
     """
 
     host: str = "127.0.0.1"
@@ -93,6 +101,8 @@ class ServerConfig:
     max_line_bytes: int = MAX_LINE_BYTES
     latency_window: int = 2048
     faults: Optional[FaultPlane] = None
+    shards: int = 0
+    shard_timeout: float = 120.0
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -103,6 +113,10 @@ class ServerConfig:
             raise ValueError("linger/timeout must be >= 0")
         if self.max_line_bytes < 1024:
             raise ValueError("max_line_bytes must be >= 1024")
+        if self.shards < 0:
+            raise ValueError("shards must be >= 0")
+        if self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be > 0")
 
 
 class RiskRouteServer:
@@ -129,6 +143,9 @@ class RiskRouteServer:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="riskroute-service"
         )
+        self._shards: Optional[ShardPool] = None
+        self._shard_crashes_seen = 0
+        self._shard_restarts_seen = 0
         self._server: Optional[asyncio.AbstractServer] = None
         self._supervisor_task: Optional[asyncio.Task] = None
         self._worker_task: Optional[asyncio.Task] = None
@@ -144,6 +161,19 @@ class RiskRouteServer:
         """Bind, start serving, and return the actual (host, port)."""
         loop = asyncio.get_running_loop()
         self._started_at = loop.time()
+        if self.config.shards > 0:
+            pool = ShardPool(
+                self.session,
+                self.config.shards,
+                faults=self._faults,
+                engine_config=getattr(self.session, "_config", None),
+                batch_timeout=self.config.shard_timeout,
+                spawn_timeout=self.config.shard_timeout,
+            )
+            # Export + spawn on the service executor: the engine is
+            # only ever touched from that one thread.
+            await loop.run_in_executor(self._executor, pool.start)
+            self._shards = pool
         self._server = await asyncio.start_server(
             self._handle,
             self.config.host,
@@ -179,6 +209,10 @@ class RiskRouteServer:
             self._worker_task = None
         for writer in list(self._writers):
             self._close_writer(writer)
+        if self._shards is not None:
+            pool, self._shards = self._shards, None
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(self._executor, pool.stop)
         self._executor.shutdown(wait=True)
 
     # -- fault plumbing ----------------------------------------------------
@@ -367,6 +401,7 @@ class RiskRouteServer:
                     "injected worker_exception "
                     f"(batch of {len(live)} {live[0].request.op!r})"
                 )
+            healed = True
             op = live[0].request.op
             if op == "stats":
                 item = live[0]
@@ -377,23 +412,67 @@ class RiskRouteServer:
                 self._deliver(loop, item)
             elif op == "update_forecast":
                 item = live[0]
-                changed = await loop.run_in_executor(
+                outcome = await loop.run_in_executor(
                     self._executor, self.service.apply_update, item
                 )
-                if changed:
+                if outcome.changed:
                     self.stats.forecast_swaps += 1
+                if self._shards is not None and outcome.applied:
+                    # The write barrier: every shard rebinds to the
+                    # applied field (fingerprint-acked) before the
+                    # reply goes out and the next batch is taken.
+                    await loop.run_in_executor(
+                        self._executor,
+                        self._shards.broadcast_swap,
+                        outcome.field,
+                        outcome.fingerprint,
+                    )
+                    healed = self._sync_shard_health()
                 self._deliver(loop, item)
             else:
-                metrics = await loop.run_in_executor(
-                    self._executor, self.service.execute_batch, live
-                )
+                if self._shards is not None:
+                    metrics = await loop.run_in_executor(
+                        self._executor, self._shards.execute_batch, live
+                    )
+                    healed = self._sync_shard_health()
+                else:
+                    metrics = await loop.run_in_executor(
+                        self._executor, self.service.execute_batch, live
+                    )
                 self.stats.coalesced_sweeps += metrics["coalesced"]
                 self.stats.sweeps_computed += metrics["computed"]
                 for item in live:
                     self._deliver(loop, item)
             self._inflight = None
-            # A batch completed end to end: the daemon has healed.
-            self._degraded_reason = None
+            if healed:
+                # A batch completed end to end (every shard answered
+                # cleanly, if sharded): the daemon has healed.
+                self._degraded_reason = None
+
+    def _sync_shard_health(self) -> bool:
+        """Fold the pool's crash/restart deltas into server stats.
+
+        Shard supervision reuses the worker-supervision accounting:
+        each shard lost mid-batch counts as a worker crash, each
+        successful respawn as a restart.  Returns True when every shard
+        is up and nothing crashed since the last sync — i.e. the batch
+        that just completed ran clean and health may flip back to
+        ``ok``.
+        """
+        pool = self._shards
+        assert pool is not None
+        crashes = pool.crashes - self._shard_crashes_seen
+        restarts = pool.restarts - self._shard_restarts_seen
+        self._shard_crashes_seen = pool.crashes
+        self._shard_restarts_seen = pool.restarts
+        self.stats.worker_crashes += crashes
+        self.stats.worker_restarts += restarts
+        if crashes or pool.alive() < pool.nshards:
+            self._degraded_reason = pool.last_crash or (
+                f"{pool.nshards - pool.alive()} shard(s) down"
+            )
+            return False
+        return True
 
     # -- reply plumbing ----------------------------------------------------
 
@@ -482,6 +561,11 @@ class RiskRouteServer:
             payload["degraded_reason"] = self._degraded_reason
         if self.stats.worker_restarts:
             payload["worker_restarts"] = self.stats.worker_restarts
+        if self._shards is not None:
+            payload["shards"] = {
+                "count": self._shards.nshards,
+                "alive": self._shards.alive(),
+            }
         payload.update(self._network_info())
         return payload
 
@@ -496,6 +580,8 @@ class RiskRouteServer:
         payload["degraded_reason"] = self._degraded_reason
         if self._faults is not None:
             payload["faults"] = self._faults.snapshot()
+        if self._shards is not None:
+            payload["shards"] = self._shards.snapshot()
         payload["engine"] = self.session.stats()
         payload["risk_field_cache"] = field_cache_stats()
         payload.update(self._network_info())

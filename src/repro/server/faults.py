@@ -44,6 +44,15 @@ Sites (see :data:`FAULT_SITES`):
     A forecast swap raises *after* the new model has been applied —
     exercises the transactional rollback in
     :meth:`~repro.server.service.QueryService.apply_update`.
+``shard_exit``
+    A shard worker process hard-exits (``os._exit``) after receiving a
+    batch but before replying — the mid-batch shard crash.  The site is
+    visited in the *parent* (one visit per shard-batch send), which
+    then flags the doomed send, so counters survive shard respawns and
+    ``hits=(1,)`` kills exactly one shard exactly once — the first
+    shard to receive a batch.  Exercises shard supervision: typed
+    ``internal`` errors for the batch, respawn + re-warm, and
+    ``degraded`` health until a clean batch completes.
 """
 
 from __future__ import annotations
@@ -62,6 +71,7 @@ FAULT_SITES = (
     "worker_exception",
     "executor_stall",
     "apply_update",
+    "shard_exit",
 )
 
 

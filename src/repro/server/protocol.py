@@ -2,26 +2,40 @@
 
 One request per line, one reply per line, UTF-8.  A request is a JSON
 object with an ``op`` field, an optional ``id`` (echoed verbatim on the
-reply, so clients may pipeline), and op-specific parameters::
+reply, so clients may pipeline), an optional envelope version ``v``
+(assumed 1 when absent), and op-specific parameters::
 
-    {"id": 7, "op": "route", "source": "Level3:Houston, TX",
+    {"id": 7, "v": 2, "op": "route", "source": "Level3:Houston, TX",
      "target": "Level3:Boston, MA", "strategy": "exact"}
 
-Replies carry ``ok``.  Successful routed replies are tagged with the
-engine's risk fingerprint at the moment the answer was computed — the
-observable half of the atomic forecast-swap guarantee (no reply ever
-mixes pre- and post-advisory risk, and the tag tells you which side of
-an ``update_forecast`` barrier a reply came from)::
+Replies carry ``ok`` and the server's envelope version.  Successful
+routed replies are tagged with the engine's risk fingerprint at the
+moment the answer was computed — the observable half of the atomic
+forecast-swap guarantee (no reply ever mixes pre- and post-advisory
+risk, and the tag tells you which side of an ``update_forecast``
+barrier a reply came from)::
 
-    {"id": 7, "ok": true, "result": {...}, "fingerprint": "9f32..."}
-    {"id": 7, "ok": false, "error": {"code": "unknown_node",
-                                     "message": "..."}}
+    {"id": 7, "v": 2, "ok": true, "result": {...}, "fingerprint": "9f32..."}
+    {"id": 7, "v": 2, "ok": false, "error": {"code": "unknown_node",
+                                             "message": "..."}}
+
+Versioning contract: a request whose ``v`` exceeds the server's
+:data:`PROTOCOL_VERSION` is answered with a typed
+``unsupported_version`` error instead of being misparsed; a client
+seeing a reply ``v`` above its own raises the same typed error instead
+of a ``KeyError`` on fields it does not know.  v1 requests (no ``v``)
+are always accepted — v2 only added the envelope version itself.
 
 Error codes are a closed set (:data:`ERROR_CODES`); clients switch on
 ``code``, never on message text.  Lines longer than the server's
 ``max_line_bytes`` cap are answered with ``too_large`` and the
 connection is closed (the rest of the oversized line cannot be framed
 reliably).
+
+The op vocabulary itself — :data:`OPS`, :data:`QUERY_OPS`,
+:data:`CONTROL_OPS` — is derived from the declarative registry in
+:mod:`repro.server.ops` (resolved lazily: the registry imports this
+module's error/serializer machinery).
 
 ``update_forecast`` accepts an optional idempotency ``token`` (string):
 the daemon applies a given token at most once and answers retries of an
@@ -31,9 +45,9 @@ safely.  A swap that fails server-side (``internal``) is rolled back —
 the fingerprint on subsequent replies proves the risk field did not
 move — and does *not* consume the token.
 
-``health`` reports ``status`` as ``ok``, ``degraded`` (a worker crash
-was survived; ``degraded_reason`` says why, and the state clears once a
-batch completes cleanly) or ``draining``.
+``health`` reports ``status`` as ``ok``, ``degraded`` (a worker or
+shard crash was survived; ``degraded_reason`` says why, and the state
+clears once a batch completes cleanly) or ``draining``.
 """
 
 from __future__ import annotations
@@ -43,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 __all__ = [
+    "PROTOCOL_VERSION",
     "OPS",
     "QUERY_OPS",
     "CONTROL_OPS",
@@ -59,19 +74,12 @@ __all__ = [
     "recommendation_to_dict",
 ]
 
+#: The envelope version this build speaks.  v1: unversioned envelope.
+#: v2: ``v`` on requests and replies, ``unsupported_version`` errors.
+PROTOCOL_VERSION = 2
+
 #: Default cap on one request line (daemon and client side).
 MAX_LINE_BYTES = 1 << 20
-
-#: Ops answered from engine state, batched and coalesced by the worker.
-QUERY_OPS = ("route", "pair", "ratios", "provision")
-
-#: Ops that act as queue barriers: each runs alone between batches, so
-#: queries admitted before one see the old state and queries after see
-#: the new (``stats`` snapshots are consistent for the same reason).
-CONTROL_OPS = ("update_forecast", "stats")
-
-#: Every op the daemon understands (``health`` bypasses the queue).
-OPS = QUERY_OPS + CONTROL_OPS + ("health",)
 
 #: The closed error vocabulary.
 ERROR_CODES = (
@@ -83,8 +91,26 @@ ERROR_CODES = (
     "overloaded",     # pending queue full; retry later
     "timeout",        # request expired before the worker reached it
     "shutting_down",  # daemon draining; no new work admitted
+    "unsupported_version",  # envelope version above what this side speaks
     "internal",       # unexpected server-side failure
 )
+
+
+def __getattr__(name: str):
+    # OPS / QUERY_OPS / CONTROL_OPS are views over the op registry;
+    # resolved lazily (and then cached) because repro.server.ops imports
+    # this module's errors and serializers.
+    if name in ("OPS", "QUERY_OPS", "CONTROL_OPS"):
+        from . import ops
+
+        values = {
+            "OPS": ops.op_names(),
+            "QUERY_OPS": ops.query_op_names(),
+            "CONTROL_OPS": ops.control_op_names(),
+        }
+        globals().update(values)
+        return values[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ProtocolError(ValueError):
@@ -105,6 +131,7 @@ class Request:
     op: str
     id: Any = None
     params: Dict[str, Any] = field(default_factory=dict)
+    v: int = 1
 
 
 def parse_request(line: bytes) -> Request:
@@ -112,7 +139,9 @@ def parse_request(line: bytes) -> Request:
 
     Raises:
         ProtocolError: ``bad_request`` for malformed JSON or shape,
-            ``unknown_op`` for an op outside the protocol.
+            ``unknown_op`` for an op outside the registry,
+            ``unsupported_version`` for an envelope version above
+            :data:`PROTOCOL_VERSION`.
     """
     try:
         payload = json.loads(line.decode("utf-8"))
@@ -123,15 +152,29 @@ def parse_request(line: bytes) -> Request:
             "bad_request",
             f"request must be a JSON object, got {type(payload).__name__}",
         )
+    version = payload.pop("v", 1)
+    if isinstance(version, bool) or not isinstance(version, int):
+        raise ProtocolError(
+            "bad_request", f"param 'v' must be an integer, got {version!r}"
+        )
+    if version < 1:
+        raise ProtocolError(
+            "bad_request", f"param 'v' must be >= 1, got {version!r}"
+        )
+    if version > PROTOCOL_VERSION:
+        raise ProtocolError(
+            "unsupported_version",
+            f"request envelope v{version} is newer than this server "
+            f"(speaks <= v{PROTOCOL_VERSION})",
+        )
     op = payload.pop("op", None)
     if op is None:
         raise ProtocolError("bad_request", "request is missing 'op'")
-    if op not in OPS:
-        raise ProtocolError(
-            "unknown_op", f"unknown op {op!r}; expected one of {list(OPS)}"
-        )
+    from . import ops
+
+    ops.get_spec(op)  # raises unknown_op for names outside the registry
     request_id = payload.pop("id", None)
-    return Request(op=op, id=request_id, params=payload)
+    return Request(op=op, id=request_id, params=payload, v=version)
 
 
 def _line(payload: dict) -> bytes:
@@ -142,7 +185,12 @@ def encode_reply(
     request_id: Any, result: dict, fingerprint: Optional[str] = None
 ) -> bytes:
     """One successful reply line."""
-    payload: Dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+    payload: Dict[str, Any] = {
+        "id": request_id,
+        "v": PROTOCOL_VERSION,
+        "ok": True,
+        "result": result,
+    }
     if fingerprint is not None:
         payload["fingerprint"] = fingerprint
     return _line(payload)
@@ -155,6 +203,7 @@ def encode_error(request_id: Any, code: str, message: str) -> bytes:
     return _line(
         {
             "id": request_id,
+            "v": PROTOCOL_VERSION,
             "ok": False,
             "error": {"code": code, "message": message},
         }

@@ -9,6 +9,14 @@ That serialization is what makes the forecast-swap guarantee atomic:
 every reply in a batch is tagged with the risk fingerprint captured
 when the batch started.
 
+Dispatch is table-driven: each request's validation, sweep-demand
+planning and result production come from its
+:class:`~repro.server.ops.OpSpec` in the declarative registry — the
+service contains no per-op ``op ==`` branching.  In a sharded daemon
+the same service class runs inside every shard process, executing the
+same specs against a shared-memory engine, which is what makes sharded
+replies byte-identical to single-process ones.
+
 Coalescing happens here too: before dispatching, the batch's sweep
 demands — the ``(alpha bucket, source)`` searches each request will
 need — are collected, deduplicated and prefetched in one engine call.
@@ -23,19 +31,23 @@ back to the prior model — the risk field and its fingerprint are
 restored, never left half-swapped.  An optional idempotency ``token``
 makes retries safe: a token is recorded only after a successful apply,
 so a retried swap applies at most once and the duplicate is answered
-from the token ledger (``duplicate: true`` on the wire).
+from the token ledger (``duplicate: true`` on the wire).  The returned
+:class:`SwapOutcome` carries the full applied field so a sharded parent
+can broadcast the swap to its shard processes behind a fingerprint
+barrier.
 """
 
 from __future__ import annotations
 
 import time
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from ..core.strategy import SweepStrategy, resolve_strategy
 from ..engine.cache import alpha_bucket
 from ..graph.core import NodeNotFoundError
 from ..graph.shortest_path import NoPathError
+from . import ops
 from .coalesce import PendingRequest
 from .faults import FaultPlane, InjectedFault
 from .protocol import (
@@ -43,38 +55,34 @@ from .protocol import (
     Request,
     encode_error,
     encode_reply,
-    pair_to_dict,
-    ratios_to_dict,
-    recommendation_to_dict,
-    route_to_dict,
 )
 
-__all__ = ["QueryService"]
-
-
-def _require_str(params: Dict[str, Any], key: str) -> str:
-    value = params.get(key)
-    if not isinstance(value, str):
-        raise ProtocolError(
-            "bad_request", f"param {key!r} must be a string, got {value!r}"
-        )
-    return value
-
-
-def _wire_strategy(params: Dict[str, Any]):
-    raw = params.get("strategy")
-    if raw is None:
-        return None
-    try:
-        return resolve_strategy(raw)
-    except ValueError as exc:
-        raise ProtocolError("bad_request", str(exc))
+__all__ = ["QueryService", "SwapOutcome", "TOKEN_LEDGER_SIZE"]
 
 
 #: Most recent idempotency tokens remembered per service (a retried
 #: ``update_forecast`` older than this many successful swaps is no
 #: longer recognized as a duplicate).
 TOKEN_LEDGER_SIZE = 256
+
+
+@dataclass(frozen=True)
+class SwapOutcome:
+    """What one ``update_forecast`` barrier did.
+
+    Attributes:
+        applied: a swap was executed this call (False for validation
+            errors and token-ledger duplicates).
+        changed: the risk field actually changed (sweeps invalidated).
+        field: the full ``{pop_id: risk}`` forecast field that was
+            applied — what a sharded parent broadcasts to shards.
+        fingerprint: the engine's risk fingerprint after the call.
+    """
+
+    applied: bool
+    changed: bool
+    field: Optional[Dict[str, float]] = None
+    fingerprint: Optional[str] = None
 
 
 def field_cache_stats() -> Dict[str, Any]:
@@ -119,29 +127,19 @@ class QueryService:
     ) -> List[Tuple[int, float]]:
         """The (source index, alpha) sweeps one request will consult.
 
-        Only single-pair ops contribute: ``ratios``/``provision`` carry
-        their own batched prefetch inside the engine (their heavier
-        service times land in the per-op latency buckets of
-        :class:`~repro.server.stats.ServerStats`).  Unknown nodes or
-        bad params yield no demands — the dispatch step reports them.
+        Driven by each op's :attr:`~repro.server.ops.OpSpec.plan`; ops
+        without a planner (``ratios``/``provision``) carry their own
+        batched prefetch inside the engine.  Unknown nodes or bad
+        params yield no demands — the dispatch step reports them.
         """
-        op, params = request.op, request.params
         try:
-            if op == "route":
-                source = _require_str(params, "source")
-                target = _require_str(params, "target")
-                s = engine.index_of(source)
-                if _wire_strategy(params) is SweepStrategy.PER_SOURCE:
-                    return [(s, engine.expected_impact(source))]
-                return [(s, engine.pair_impact(source, target))]
-            if op == "pair":
-                source = _require_str(params, "source")
-                target = _require_str(params, "target")
-                s = engine.index_of(source)
-                return [(s, 0.0), (s, engine.pair_impact(source, target))]
+            spec = ops.get_spec(request.op)
+            if spec.plan is None:
+                return []
+            params = ops.validate_params(spec, request.params)
+            return spec.plan(engine, params)
         except (ProtocolError, NodeNotFoundError):
             return []
-        return []
 
     # -- batch execution (worker-thread entry points) ----------------------
 
@@ -167,16 +165,15 @@ class QueryService:
         }
         computed = engine.prefetch(demands) if demands else 0
         for item in batch:
-            self._dispatch(engine, item, fingerprint)
+            self._dispatch(item, fingerprint)
         return {
             "demands": len(demands),
             "coalesced": len(demands) - len(unique),
             "computed": computed,
         }
 
-    def apply_update(self, item: PendingRequest) -> bool:
-        """Apply one ``update_forecast`` barrier; returns whether the
-        risk field actually changed (and sweeps were invalidated).
+    def apply_update(self, item: PendingRequest) -> SwapOutcome:
+        """Apply one ``update_forecast`` barrier.
 
         The swap is transactional: validation completes before any
         state moves, the new model is built copy-on-write, and a
@@ -185,27 +182,18 @@ class QueryService:
         retried swap applies at most once — duplicates answer from the
         token ledger with ``duplicate: true`` and the current
         fingerprint, without touching the engine.
+
+        Returns a :class:`SwapOutcome`; ``outcome.field`` is the full
+        applied forecast field, which the sharded daemon broadcasts to
+        its shard processes behind a fingerprint barrier.
         """
         request = item.request
         try:
-            token = request.params.get("token")
-            if token is not None and not isinstance(token, str):
-                raise ProtocolError(
-                    "bad_request",
-                    f"param 'token' must be a string, got {token!r}",
-                )
-            risk = request.params.get("risk")
-            if not isinstance(risk, dict):
-                raise ProtocolError(
-                    "bad_request", "param 'risk' must be an object of "
-                    "{pop_id: forecast_risk}"
-                )
-            default = request.params.get("default", 0.0)
-            if not isinstance(default, (int, float)):
-                raise ProtocolError(
-                    "bad_request", f"param 'default' must be a number, "
-                    f"got {default!r}"
-                )
+            spec = ops.get_spec("update_forecast")
+            params = ops.validate_params(spec, request.params)
+            token = params["token"]
+            risk = params["risk"]
+            default = params["default"]
             model = self.session.model
             known = set(model.pop_ids())
             unknown = sorted(set(risk) - known)
@@ -215,30 +203,37 @@ class QueryService:
                 pop: float(risk.get(pop, default)) for pop in model.pop_ids()
             }
             if token is not None and token in self._applied_tokens:
+                fingerprint = self.session.engine.risk_fingerprint
                 item.reply = encode_reply(
                     request.id,
                     {
                         "changed": self._applied_tokens[token],
                         "duplicate": True,
                     },
-                    fingerprint=self.session.engine.risk_fingerprint,
+                    fingerprint=fingerprint,
                 )
                 item.ok = True
-                return False  # nothing swapped this time
+                return SwapOutcome(  # nothing swapped this time
+                    applied=False, changed=False, fingerprint=fingerprint
+                )
             changed = self._transactional_swap(full)
             if token is not None:
                 self._remember_token(token, changed)
+            fingerprint = self.session.engine.risk_fingerprint
             item.reply = encode_reply(
                 request.id,
                 {"changed": changed, "duplicate": False},
-                fingerprint=self.session.engine.risk_fingerprint,
+                fingerprint=fingerprint,
             )
             item.ok = True
-            return changed
+            return SwapOutcome(
+                applied=True, changed=changed, field=full,
+                fingerprint=fingerprint,
+            )
         except Exception as exc:  # noqa: BLE001 - mapped to wire errors
             item.reply = self._error_reply(request, exc)
             item.ok = False
-            return False
+            return SwapOutcome(applied=False, changed=False)
 
     def _transactional_swap(self, full: Dict[str, float]) -> bool:
         """Swap the forecast risk field; roll back on any failure.
@@ -269,66 +264,30 @@ class QueryService:
 
     # -- per-request dispatch ----------------------------------------------
 
-    def _dispatch(self, engine, item: PendingRequest, fingerprint: str) -> None:
+    def _dispatch(self, item: PendingRequest, fingerprint: str) -> None:
         request = item.request
         try:
-            result = self._result_for(engine, request)
+            result = self._result_for(request)
+            spec = ops.get_spec(request.op)
             item.reply = encode_reply(
-                request.id, result, fingerprint=fingerprint
+                request.id,
+                result,
+                fingerprint=fingerprint if spec.fingerprint_reply else None,
             )
             item.ok = True
         except Exception as exc:  # noqa: BLE001 - mapped to wire errors
             item.reply = self._error_reply(request, exc)
             item.ok = False
 
-    def _result_for(self, engine, request: Request) -> dict:
-        op, params = request.op, request.params
-        if op == "route":
-            source = _require_str(params, "source")
-            target = _require_str(params, "target")
-            strategy = _wire_strategy(params) or SweepStrategy.EXACT
-            return route_to_dict(self.session.route(source, target, strategy))
-        if op == "pair":
-            source = _require_str(params, "source")
-            target = _require_str(params, "target")
-            return pair_to_dict(self.session.pair(source, target))
-        if op == "ratios":
-            sources = params.get("sources")
-            targets = params.get("targets")
-            strategy = _wire_strategy(params)
-            return ratios_to_dict(
-                self.session.all_pairs(
-                    sources=sources, targets=targets, strategy=strategy
-                )
+    def _result_for(self, request: Request) -> dict:
+        """Validate and execute one request through its registry spec."""
+        spec = ops.get_spec(request.op)
+        if spec.handler is None:
+            raise ProtocolError(
+                "unknown_op", f"op {request.op!r} is not a query op"
             )
-        if op == "provision":
-            k = params.get("k", 1)
-            top = params.get("top")
-            exact = params.get("exact", False)
-            verify_every = params.get("verify_every", 1)
-            if not isinstance(k, int):
-                raise ProtocolError(
-                    "bad_request", f"param 'k' must be an integer, got {k!r}"
-                )
-            if not isinstance(exact, bool):
-                raise ProtocolError(
-                    "bad_request",
-                    f"param 'exact' must be a boolean, got {exact!r}",
-                )
-            if not isinstance(verify_every, int):
-                raise ProtocolError(
-                    "bad_request",
-                    f"param 'verify_every' must be an integer, "
-                    f"got {verify_every!r}",
-                )
-            try:
-                recs = self.session.provision(
-                    k=k, top=top, exact=exact, verify_every=verify_every
-                )
-            except ValueError as exc:
-                raise ProtocolError("bad_request", str(exc))
-            return {"recommendations": [recommendation_to_dict(r) for r in recs]}
-        raise ProtocolError("unknown_op", f"op {op!r} is not a query op")
+        params = ops.validate_params(spec, request.params)
+        return spec.handler(self, params)
 
     @staticmethod
     def _error_reply(request: Request, exc: Exception) -> bytes:

@@ -1,0 +1,582 @@
+"""The sharded serving tier: N engine processes behind one acceptor.
+
+A single-process daemon tops out at one core: the engine runs
+pure-Python Dijkstra sweeps under the GIL, so concurrent clients queue
+behind one CPU.  :class:`ShardPool` fans the worker's query batches
+across N **shard processes**, each running the same
+:class:`~repro.server.service.QueryService` over an engine rebuilt
+from the parent's shared-memory segments
+(:mod:`repro.engine.shm`) — the CSR arrays and the bound risk field
+are mapped zero-copy, not pickled per child.
+
+Topology of one sharded daemon::
+
+    clients --NDJSON--> parent acceptor --batches--> ShardPool
+                                                     |  (pipes)
+                                   +----------+----------+
+                                   | shard 0  | shard 1  | ...
+                                   | engine   | engine   |
+                                   +----------+----------+
+
+**Routing** is registry-driven (:func:`shard_of`): pair ops (``route``
+/ ``pair``) hash ``network|source|target`` so a pair always lands on
+the same shard — its ``(alpha bucket, source)`` sweep cache stays hot
+— while params-routed ops (``ratios`` / ``provision``) hash their
+canonical parameter dict, so repeats of the same heavy query hit the
+same shard's memoized result cache.  Writes and ``stats`` never reach
+a shard (``routing="parent"``).
+
+**Writes** keep the single-process guarantee: the parent applies
+``update_forecast`` authoritatively (token ledger, transactional
+rollback), then broadcasts the applied field to every shard and
+collects a **fingerprint barrier** — each shard acks with its
+post-swap risk fingerprint, which must equal the parent's.  Queue
+barrier placement means no query batch is in flight during the
+broadcast, so no reply anywhere can mix pre- and post-advisory risk;
+a shard that fails the barrier is killed and respawned warm.
+
+**Supervision** mirrors the PR4 single-worker watchdog, per shard: a
+shard that dies mid-batch (crash, injected ``shard_exit`` fault, or a
+batch watchdog timeout) has its in-flight requests failed with typed
+``internal`` errors — exactly one reply per admitted request, never a
+hung socket — is respawned from the shared segments, re-warmed with
+the current forecast field, and the daemon reports ``degraded`` until
+a batch completes cleanly.
+
+Because every shard executes the identical service code over the
+identical arrays, replies are **byte-identical** to single-process
+mode — same paths, same floats, same fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..engine.shm import ShmManifest, SharedEngineState, attach_engine
+from . import ops
+from .coalesce import PendingRequest
+from .faults import FaultPlane
+from .protocol import Request, encode_error
+
+__all__ = ["ShardPool", "ShardSpec", "shard_of"]
+
+
+def shard_of(request: Request, nshards: int) -> int:
+    """The shard index one request routes to (deterministic).
+
+    ``pair``-routed ops hash ``network|source|target`` (the network
+    prefix of the source PoP id gives per-network affinity); ``params``
+    -routed ops hash their canonical parameter JSON.  Malformed
+    requests fall through to shard 0, whose service produces the typed
+    error reply.
+    """
+    if nshards <= 1:
+        return 0
+    spec = ops.REGISTRY.get(request.op)
+    routing = spec.routing if spec is not None else "params"
+    if routing == "pair":
+        source = request.params.get("source")
+        target = request.params.get("target")
+        if not (isinstance(source, str) and isinstance(target, str)):
+            return 0
+        network = source.split(":", 1)[0]
+        key = f"{network}|{source}|{target}"
+    else:
+        try:
+            key = json.dumps(
+                {"op": request.op, "params": request.params},
+                sort_keys=True,
+                default=repr,
+            )
+        except (TypeError, ValueError):
+            return 0
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % nshards
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one shard child needs, picklable for ``spawn``.
+
+    The heavy engine arrays travel via the shared-memory ``manifest``;
+    the rest — the topology object (for the child's session), the risk
+    model (plain value dicts), tuning, and the child's copy of the
+    fault plane — pickle normally.
+    """
+
+    topology: Any                    # Network or Graph for RoutingSession
+    model: Any                       # RiskModel
+    manifest: ShmManifest
+    engine_config: Any = None        # EngineConfig or None
+    faults: Optional[FaultPlane] = None
+    #: Forecast field to re-apply on (re)spawn, so a shard restarted
+    #: after swaps comes up on the current advisory, not the boot one.
+    forecast_field: Optional[Dict[str, float]] = None
+
+
+# -- the child process -------------------------------------------------------
+
+
+def _shard_main(shard_id: int, conn, spec: ShardSpec) -> None:
+    """One shard process: map segments, build a service, serve the pipe.
+
+    Message protocol (parent -> child / child -> parent)::
+
+        ("ping", seq)            -> ("pong", seq, risk_fingerprint, pid)
+        ("batch", seq, items)    -> ("batch", seq, replies, metrics)
+        ("swap", seq, field)     -> ("swap", seq, risk_fingerprint, changed)
+        ("stop",)                -> (child exits)
+
+    Batch items are ``(request_id, op, params, v)`` tuples; replies are
+    ``(reply_bytes, ok)`` in item order — the child runs the *real*
+    :meth:`QueryService.execute_batch`, so the encoded reply lines are
+    byte-identical to single-process serving.
+    """
+    # The parent orchestrates shutdown (drain, then "stop"); a Ctrl+C
+    # delivered to the whole process group must not kill shards first.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    from ..session import RoutingSession
+    from .service import QueryService
+
+    engine = attach_engine(
+        spec.manifest, spec.model, config=spec.engine_config
+    )
+    # The session fingerprints its live graph and resolves to the
+    # adopted shared-memory engine through the registry.
+    session = RoutingSession(
+        spec.topology, spec.model, config=spec.engine_config
+    )
+    if session.engine is not engine:  # pragma: no cover - defensive
+        raise RuntimeError("shard session did not adopt the shm engine")
+    if spec.forecast_field is not None:
+        session.update_forecast(spec.forecast_field)
+    service = QueryService(session, faults=spec.faults)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break  # parent is gone; nothing left to serve
+        kind = message[0]
+        if kind == "ping":
+            conn.send(
+                ("pong", message[1], session.engine.risk_fingerprint,
+                 os.getpid())
+            )
+        elif kind == "batch":
+            _, seq, items, die = message
+            if die:
+                # Injected mid-batch death (the parent's ``shard_exit``
+                # fault plane fired for this send): the batch is
+                # consumed but never answered, exactly like a
+                # seg-faulted worker.
+                conn.close()
+                os._exit(13)
+            pending = [
+                PendingRequest(
+                    request=Request(op=op, id=rid, params=params, v=v),
+                    writer=None,
+                    arrived=0.0,
+                )
+                for rid, op, params, v in items
+            ]
+            metrics = service.execute_batch(pending)
+            conn.send(
+                (
+                    "batch",
+                    seq,
+                    [(item.reply, bool(item.ok)) for item in pending],
+                    metrics,
+                )
+            )
+        elif kind == "swap":
+            _, seq, forecast = message
+            try:
+                changed = session.update_forecast(forecast)
+                conn.send(
+                    ("swap", seq, session.engine.risk_fingerprint, changed)
+                )
+            except Exception as exc:  # noqa: BLE001 - reported to parent
+                conn.send(("swap", seq, f"error: {exc}", False))
+        elif kind == "stop":
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# -- the parent-side pool ----------------------------------------------------
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle on one live shard process."""
+
+    process: Any
+    conn: Any
+    pid: int
+    batches: int = 0
+    swaps: int = 0
+
+
+class ShardPool:
+    """N shard processes over one shared-memory engine export.
+
+    Built by the daemon when ``ServerConfig.shards > 0``; every method
+    is called from the daemon's one-thread executor (the same
+    serialization discipline as the in-process service), so the pool
+    needs no locking.
+
+    Args:
+        session: the parent's :class:`~repro.session.RoutingSession`
+            (its engine is exported; its model seeds the shards).
+        nshards: shard process count.
+        faults: fault plane — ``shard_exit`` is visited parent-side
+            (counters survive respawns); a copy still pickles into
+            each child for the service-level sites.
+        engine_config: tuning for shard engines (None = defaults).
+        batch_timeout: seconds to wait for one shard batch before the
+            shard is declared hung and killed.
+        spawn_timeout: seconds to wait for a (re)spawned shard's warm-up
+            ping.
+    """
+
+    def __init__(
+        self,
+        session,
+        nshards: int,
+        *,
+        faults: Optional[FaultPlane] = None,
+        engine_config=None,
+        batch_timeout: float = 120.0,
+        spawn_timeout: float = 120.0,
+    ) -> None:
+        if nshards < 1:
+            raise ValueError("nshards must be >= 1")
+        self.nshards = nshards
+        self.batch_timeout = batch_timeout
+        self.spawn_timeout = spawn_timeout
+        self._session = session
+        self._faults = faults
+        self._engine_config = engine_config
+        # ``fork`` would duplicate the daemon's event-loop threads into
+        # children in undefined states; ``spawn`` pays a slower start
+        # for deterministic, thread-free children.
+        self._ctx = multiprocessing.get_context("spawn")
+        self._state: Optional[SharedEngineState] = None
+        self._spec: Optional[ShardSpec] = None
+        self._shards: List[Optional[_Shard]] = [None] * nshards
+        self._seq = 0
+        #: Risk fingerprint every healthy shard must currently report.
+        self.fingerprint: Optional[str] = None
+        self.crashes = 0
+        self.restarts = 0
+        self.last_crash: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Export the engine and spawn + warm every shard (blocking)."""
+        engine = self._session.engine
+        self._state = SharedEngineState.export(engine)
+        topology = (
+            self._session.network
+            if self._session.network is not None
+            else self._session.graph
+        )
+        self._spec = ShardSpec(
+            topology=topology,
+            model=self._session.model,
+            manifest=self._state.manifest,
+            engine_config=self._engine_config,
+            faults=self._faults,
+        )
+        self.fingerprint = engine.risk_fingerprint
+        try:
+            for sid in range(self.nshards):
+                self._shards[sid] = self._spawn(sid)
+        except BaseException:
+            self.stop()
+            raise
+
+    def stop(self) -> None:
+        """Stop every shard and release the shared segments."""
+        for sid, shard in enumerate(self._shards):
+            if shard is None:
+                continue
+            try:
+                shard.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+            shard.process.join(timeout=5)
+            if shard.process.is_alive():
+                shard.process.kill()
+                shard.process.join(timeout=5)
+            try:
+                shard.conn.close()
+            except OSError:
+                pass
+            self._shards[sid] = None
+        if self._state is not None:
+            self._state.close()
+            self._state = None
+
+    def _spawn(self, sid: int) -> _Shard:
+        """Start one shard and block until its warm-up ping acks."""
+        assert self._spec is not None
+        spec = replace(self._spec, forecast_field=self._current_field())
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_main,
+            args=(sid, child_conn, spec),
+            name=f"riskroute-shard-{sid}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        shard = _Shard(process=process, conn=parent_conn, pid=process.pid)
+        self._seq += 1
+        try:
+            parent_conn.send(("ping", self._seq))
+            if not parent_conn.poll(self.spawn_timeout):
+                raise TimeoutError(
+                    f"shard {sid} did not warm up in {self.spawn_timeout:g}s"
+                )
+            kind, seq, fingerprint, _pid = parent_conn.recv()
+            if kind != "pong" or seq != self._seq:
+                raise RuntimeError(
+                    f"shard {sid} answered {kind!r} to its warm-up ping"
+                )
+            if fingerprint != self.fingerprint:
+                raise RuntimeError(
+                    f"shard {sid} warmed up on fingerprint "
+                    f"{fingerprint!r}, expected {self.fingerprint!r}"
+                )
+        except BaseException:
+            self._kill(shard)
+            raise
+        return shard
+
+    def _current_field(self) -> Optional[Dict[str, float]]:
+        return self._spec.forecast_field if self._spec is not None else None
+
+    @staticmethod
+    def _kill(shard: _Shard) -> None:
+        try:
+            shard.conn.close()
+        except OSError:
+            pass
+        if shard.process.is_alive():
+            shard.process.kill()
+        shard.process.join(timeout=5)
+
+    # -- batch fan-out -----------------------------------------------------
+
+    def execute_batch(self, batch: List[PendingRequest]) -> Dict[str, int]:
+        """Fan one query batch across shards; fill each item's reply.
+
+        Same contract as
+        :meth:`~repro.server.service.QueryService.execute_batch`, plus
+        a ``crashes`` count: shards that died mid-batch (their items
+        carry typed ``internal`` errors and the shard was respawned).
+        """
+        groups: Dict[int, List[PendingRequest]] = {}
+        for item in batch:
+            groups.setdefault(
+                shard_of(item.request, self.nshards), []
+            ).append(item)
+        metrics = {"demands": 0, "coalesced": 0, "computed": 0, "crashes": 0}
+        inflight: List[Tuple[int, int, List[PendingRequest]]] = []
+        for sid in sorted(groups):
+            group = groups[sid]
+            shard = self._ensure_shard(sid)
+            if shard is None:
+                self._fail_group(sid, group, "unavailable")
+                metrics["crashes"] += 1
+                continue
+            items = [
+                (
+                    item.request.id,
+                    item.request.op,
+                    item.request.params,
+                    item.request.v,
+                )
+                for item in group
+            ]
+            self._seq += 1
+            # The shard_exit site is checked here, in the parent, so
+            # its visit/fire counters survive shard respawns (a
+            # re-pickled child plane would reset them and re-kill every
+            # fresh shard).  One visit per shard-batch send.
+            die = (
+                self._faults is not None
+                and self._faults.check("shard_exit") is not None
+            )
+            try:
+                shard.conn.send(("batch", self._seq, items, die))
+            except (OSError, ValueError):
+                self._on_crash(sid, group, "died before batch send")
+                metrics["crashes"] += 1
+                continue
+            inflight.append((sid, self._seq, group))
+        # Every shard is now computing concurrently; collect in order.
+        for sid, seq, group in inflight:
+            shard = self._shards[sid]
+            message = self._recv(shard)
+            if (
+                message is None
+                or message[0] != "batch"
+                or message[1] != seq
+                or len(message[2]) != len(group)
+            ):
+                self._on_crash(sid, group, "crashed mid-batch")
+                metrics["crashes"] += 1
+                continue
+            for item, (reply, ok) in zip(group, message[2]):
+                item.reply = reply
+                item.ok = ok
+            shard.batches += 1
+            for key in ("demands", "coalesced", "computed"):
+                metrics[key] += message[3].get(key, 0)
+        return metrics
+
+    def _ensure_shard(self, sid: int) -> Optional[_Shard]:
+        shard = self._shards[sid]
+        if shard is not None and shard.process.is_alive():
+            return shard
+        # A previous respawn failed (or the shard died idle): retry now.
+        if shard is not None:
+            self._kill(shard)
+            self._shards[sid] = None
+        return self._respawn(sid)
+
+    def _respawn(self, sid: int) -> Optional[_Shard]:
+        try:
+            shard = self._spawn(sid)
+        except Exception as exc:  # noqa: BLE001 - shard stays down
+            self.last_crash = f"shard {sid} respawn failed: {exc}"
+            self._shards[sid] = None
+            return None
+        self._shards[sid] = shard
+        self.restarts += 1
+        return shard
+
+    def _recv(self, shard: _Shard):
+        try:
+            if not shard.conn.poll(self.batch_timeout):
+                return None  # hung shard: the watchdog gives up on it
+            return shard.conn.recv()
+        except (EOFError, OSError):
+            return None
+
+    def _on_crash(
+        self, sid: int, group: List[PendingRequest], why: str
+    ) -> None:
+        """Fail a dead shard's in-flight items and respawn it."""
+        self.crashes += 1
+        self.last_crash = f"shard {sid} {why}"
+        self._fail_group(sid, group, why)
+        shard = self._shards[sid]
+        if shard is not None:
+            self._kill(shard)
+            self._shards[sid] = None
+        self._respawn(sid)
+
+    @staticmethod
+    def _fail_group(
+        sid: int, group: List[PendingRequest], why: str
+    ) -> None:
+        for item in group:
+            if item.reply is None:
+                item.reply = encode_error(
+                    item.request.id,
+                    "internal",
+                    f"shard {sid} {why}; request aborted",
+                )
+                item.ok = False
+
+    # -- the write barrier -------------------------------------------------
+
+    def broadcast_swap(
+        self, forecast: Dict[str, float], fingerprint: str
+    ) -> int:
+        """Push an applied forecast field to every shard, barriered.
+
+        Called by the daemon *after* the parent's authoritative
+        transactional swap, between batches.  Each shard rebinds and
+        acks with its post-swap risk fingerprint; a shard whose ack is
+        missing or mismatched is killed and respawned warm on the new
+        field.  Returns the number of shards lost this way.
+        """
+        assert self._spec is not None
+        self._spec = replace(
+            self._spec, forecast_field=dict(forecast)
+        )
+        self.fingerprint = fingerprint
+        crashes = 0
+        for sid in range(self.nshards):
+            shard = self._shards[sid]
+            if shard is None:
+                self._respawn(sid)  # comes up warm on the new field
+                continue
+            self._seq += 1
+            try:
+                shard.conn.send(("swap", self._seq, dict(forecast)))
+            except (OSError, ValueError):
+                self._on_crash(sid, [], "died before swap broadcast")
+                crashes += 1
+                continue
+            message = self._recv(shard)
+            if (
+                message is None
+                or message[0] != "swap"
+                or message[1] != self._seq
+                or message[2] != fingerprint
+            ):
+                got = message[2] if message is not None else "no ack"
+                self._on_crash(
+                    sid, [], f"failed the swap barrier ({got!r})"
+                )
+                crashes += 1
+                continue
+            shard.swaps += 1
+        return crashes
+
+    # -- observability -----------------------------------------------------
+
+    def alive(self) -> int:
+        """Shards currently up."""
+        return sum(
+            1
+            for shard in self._shards
+            if shard is not None and shard.process.is_alive()
+        )
+
+    def snapshot(self) -> dict:
+        """Pool counters for the ``stats`` op."""
+        return {
+            "count": self.nshards,
+            "alive": self.alive(),
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "fingerprint": self.fingerprint,
+            "per_shard": [
+                None
+                if shard is None
+                else {
+                    "pid": shard.pid,
+                    "batches": shard.batches,
+                    "swaps": shard.swaps,
+                }
+                for shard in self._shards
+            ],
+        }

@@ -205,17 +205,17 @@ class RoutingSession:
         k: int = 1,
         candidates: Optional[Sequence] = None,
         top: Optional[int] = None,
-        exact: bool = False,
-        verify_every: int = 1,
+        verify_every: Optional[int] = None,
     ) -> List:
         """Equation 4 link recommendations for the session's network.
 
         ``k == 1`` ranks the candidate set and returns the ``top``
         recommendations (all by default); ``k > 1`` runs the greedy
         k-link extension (Figure 10) — incremental matrix updates per
-        committed link, one recommendation per added link.  With
-        ``exact=True`` the incremental matrices are re-verified against
-        a from-scratch rebuild every ``verify_every`` insertions.
+        committed link, one recommendation per added link.
+        ``verify_every=N`` re-verifies the incremental matrices against
+        a from-scratch rebuild every N insertions (``None`` — the
+        default — never re-verifies).
 
         Raises:
             ValueError: in graph mode (candidate generation needs PoP
@@ -234,6 +234,4 @@ class RoutingSession:
         )
         if k == 1:
             return analyzer.rank_candidates(candidates=candidates, top=top)
-        return analyzer.greedy_links(
-            k, exact=exact, verify_every=verify_every
-        )
+        return analyzer.greedy_links(k, verify_every=verify_every)

@@ -115,12 +115,12 @@ class TestGreedyParity:
                 b.baseline_bit_risk, rel=1e-9
             )
 
-    def test_exact_knob_matches_default(self):
+    def test_verify_every_knob_matches_default(self):
         network = network_by_name("Sprint")
         model = RiskModel.for_network(network)
         clear_engine_registry()
         analyzer = ProvisioningAnalyzer(network, model)
-        checked = analyzer.greedy_links(5, exact=True, verify_every=2)
+        checked = analyzer.greedy_links(5, verify_every=2)
         clear_engine_registry()
         plain = ProvisioningAnalyzer(network, model).greedy_links(5)
         assert [r.candidate for r in checked] == [r.candidate for r in plain]

@@ -62,7 +62,8 @@ class TestEncode:
         assert line.endswith(b"\n")
         payload = json.loads(line)
         assert payload == {
-            "id": 3, "ok": True, "result": {"x": 1.5}, "fingerprint": "abcd"
+            "id": 3, "ok": True, "v": protocol.PROTOCOL_VERSION,
+            "result": {"x": 1.5}, "fingerprint": "abcd",
         }
 
     def test_reply_without_fingerprint(self):

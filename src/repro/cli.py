@@ -8,6 +8,7 @@ Subcommands::
     riskroute corpus              # summarize the 23-network corpus
     riskroute route Level3 "Houston, TX" "Boston, MA" [--gamma-h 1e5]
     riskroute ratios Level3 [--strategy per-source] [--workers 4]
+    riskroute scenario Level3 --scenarios 500 [--no-defense]
     riskroute serve Level3 --port 4174 [--shards 4]
     riskroute query --port 4174 route "Level3:Houston, TX" "Level3:Boston, MA"
 
@@ -119,6 +120,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
     )
     prov_p.add_argument(
+        "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
+    )
+
+    scen_p = sub.add_parser(
+        "scenario",
+        help="Monte Carlo cascading-failure comparison for one network",
+    )
+    scen_p.add_argument("network", help="network name, e.g. Level3")
+    scen_p.add_argument(
+        "--scenarios", type=int, default=500,
+        help="correlated-failure events to draw (default: 500)",
+    )
+    scen_p.add_argument(
+        "--seed", type=int, default=2013,
+        help="replay seed for the whole run (default: 2013)",
+    )
+    scen_p.add_argument(
+        "--srg-fraction", type=float, default=0.5, dest="srg_fraction",
+        help="probability a scenario activates a shared-risk group "
+        "(default: 0.5)",
+    )
+    scen_p.add_argument(
+        "--headroom", type=float, default=1.5,
+        help="capacity multiplier over baseline load, 0 = unlimited "
+        "(default: 1.5)",
+    )
+    scen_p.add_argument(
+        "--no-defense", action="store_true", dest="no_defense",
+        help="disable dynamic load redistribution (naive failover)",
+    )
+    scen_p.add_argument(
+        "--alternates", type=int, default=3,
+        help="alternates a defended shed is split across (default: 3)",
+    )
+    scen_p.add_argument(
+        "--sample-pairs", type=int, default=60, dest="sample_pairs",
+        help="survival route sample size (default: 60)",
+    )
+    scen_p.add_argument(
+        "--corridor-miles", type=float, default=50.0, dest="corridor_miles",
+        help="shared-risk corridor cell size in miles (default: 50)",
+    )
+    scen_p.add_argument(
+        "--workers", type=int, default=0,
+        help="thread fan-out width (default: serial)",
+    )
+    scen_p.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit the full report as JSON instead of the summary table",
+    )
+    scen_p.add_argument(
+        "--gamma-h", type=float, default=DEFAULT_GAMMA_H, dest="gamma_h"
+    )
+    scen_p.add_argument(
         "--gamma-f", type=float, default=DEFAULT_GAMMA_F, dest="gamma_f"
     )
 
@@ -341,6 +396,80 @@ def _cmd_provision(args) -> int:
     return 0
 
 
+def _cmd_scenario(args) -> int:
+    try:
+        network = network_by_name(args.network)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    from .scenario import CascadeConfig, ScenarioConfig, run_monte_carlo
+
+    model = RiskModel.for_network(
+        network, gamma_h=args.gamma_h, gamma_f=args.gamma_f
+    )
+    try:
+        config = ScenarioConfig(
+            scenarios=args.scenarios,
+            seed=args.seed,
+            srg_fraction=args.srg_fraction,
+            corridor_miles=args.corridor_miles,
+            sample_pairs=args.sample_pairs,
+            cascade=CascadeConfig(
+                headroom=None if args.headroom == 0 else args.headroom,
+                redistribute=not args.no_defense,
+                alternates=args.alternates,
+            ),
+            workers=args.workers,
+        )
+        report = run_monte_carlo(network, model, config)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0
+    print(
+        f"network          {report.network} "
+        f"({network.pop_count} PoPs, {network.link_count} links)"
+    )
+    print(
+        f"scenarios        {report.scenarios} "
+        f"({report.srg_activations} SRG activations over "
+        f"{report.srg_groups} groups, "
+        f"{report.disaster_events} disasters), seed {report.seed}"
+    )
+    print(f"{'metric':24s} {'shortest':>10s} {'riskroute':>10s}")
+    rows = [
+        ("route survival", "route_survival", "{:10.4f}"),
+        ("demand survival", "demand_survival", "{:10.4f}"),
+        ("unserved demand", "unserved_demand", "{:10.4f}"),
+        ("mean cascade depth", "mean_cascade_depth", "{:10.2f}"),
+        ("max cascade depth", "max_cascade_depth", "{:10d}"),
+        ("partitions", "partitions", "{:10d}"),
+    ]
+    for label, attr, fmt in rows:
+        print(
+            f"{label:24s} "
+            + fmt.format(getattr(report.shortest, attr))
+            + " "
+            + fmt.format(getattr(report.riskroute, attr))
+        )
+    mttf = (
+        "-" if report.riskroute.mttf_events is None
+        else f"{report.riskroute.mttf_events:.2f}"
+    )
+    mttf_sp = (
+        "-" if report.shortest.mttf_events is None
+        else f"{report.shortest.mttf_events:.2f}"
+    )
+    print(f"{'mttf (events)':24s} {mttf_sp:>10s} {mttf:>10s}")
+    print(
+        f"riskroute gain: +{report.survival_improvement:.4f} route "
+        f"survival, -{report.unserved_reduction:.4f} unserved demand"
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import signal
@@ -500,6 +629,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.command == "provision":
         return _cmd_provision(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "query":

@@ -15,24 +15,26 @@ failure-injection tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from ..disasters.catalog import catalog_of
 from ..disasters.events import EventType
 from ..geo.coords import GeoPoint
-from ..geo.distance import haversine_miles
+from ..geo.distance import distances_to_latlon_array
 from ..graph.shortest_path import NoPathError
 from ..risk.model import RiskModel
 from ..topology.network import Network
-from .riskroute import RiskRouter
+from .riskroute import RiskRouter, RouteResult
 
 __all__ = [
     "SimulatedDisaster",
     "SurvivalReport",
     "sample_disasters",
+    "damage_mask",
     "failed_pops",
+    "sampled_pair_routes",
     "route_survival",
 ]
 
@@ -72,7 +74,7 @@ class SurvivalReport:
 
 def sample_disasters(
     count: int,
-    seed: int = 2013,
+    seed: Union[int, "np.random.Generator"] = 2013,
     event_types: Optional[Sequence[str]] = None,
 ) -> List[SimulatedDisaster]:
     """Draw disasters by resampling the historical catalogs.
@@ -81,6 +83,11 @@ def sample_disasters(
     events dominate, as in reality) with each occurrence placed at a
     historical event location — a nonparametric bootstrap of the same
     distribution the KDE risk fields estimate.
+
+    ``seed`` may be an int or an already-constructed
+    :class:`numpy.random.Generator` — the scenario plane threads one
+    generator through every stochastic draw of a Monte Carlo run, so
+    the whole run replays from a single integer seed.
 
     Raises:
         ValueError: for a non-positive count or unknown class.
@@ -91,7 +98,10 @@ def sample_disasters(
     for event_type in classes:
         if event_type not in DAMAGE_RADIUS_MILES:
             raise ValueError(f"unknown event type {event_type!r}")
-    rng = np.random.default_rng(seed)
+    if isinstance(seed, np.random.Generator):
+        rng = seed
+    else:
+        rng = np.random.default_rng(seed)
     catalogs = {c: catalog_of(c).locations() for c in classes}
     weights = np.array([len(catalogs[c]) for c in classes], dtype=np.float64)
     weights /= weights.sum()
@@ -111,16 +121,75 @@ def sample_disasters(
     return out
 
 
+def damage_mask(
+    latlon_deg: "np.ndarray", disaster: SimulatedDisaster
+) -> "np.ndarray":
+    """Boolean mask of (lat, lon) degree rows inside the damage radius.
+
+    The array-native damage test shared by :func:`failed_pops` and the
+    cascade scenario plane — both paths run the identical vectorised
+    haversine, so a PoP on the radius boundary fails (or survives) in
+    both consistently.
+    """
+    distances = distances_to_latlon_array(latlon_deg, disaster.center)
+    return distances <= disaster.radius_miles
+
+
+def _pop_latlon_array(network: Network) -> "np.ndarray":
+    pops = network.pops()
+    out = np.empty((len(pops), 2), dtype=np.float64)
+    for i, pop in enumerate(pops):
+        out[i, 0] = pop.location.lat
+        out[i, 1] = pop.location.lon
+    return out
+
+
 def failed_pops(
     network: Network, disaster: SimulatedDisaster
 ) -> Set[str]:
     """PoPs inside the disaster's damage radius."""
+    mask = damage_mask(_pop_latlon_array(network), disaster)
     return {
-        pop.pop_id
-        for pop in network.pops()
-        if haversine_miles(pop.location, disaster.center)
-        <= disaster.radius_miles
+        pop.pop_id for pop, hit in zip(network.pops(), mask) if hit
     }
+
+
+def sampled_pair_routes(
+    network: Network,
+    model: RiskModel,
+    sample_pairs: int = 60,
+) -> List[Tuple[RouteResult, RouteResult]]:
+    """Precompute (shortest, riskroute) routes for a strided pair sample.
+
+    The exact pair enumeration, stride and unroutable-pair handling
+    behind :func:`route_survival` — factored out so the cascade
+    scenario plane scores survival over the *same* route sample, which
+    is what makes its no-defense/infinite-capacity degenerate case
+    reduce to :func:`route_survival` bit for bit.
+
+    Raises:
+        ValueError: for a non-positive pair sample or when no pair in
+            the network is routable.
+    """
+    if sample_pairs < 1:
+        raise ValueError("sample_pairs must be positive")
+    router = RiskRouter(network.distance_graph(), model)
+    pop_ids = network.pop_ids()
+    pairs = [
+        (a, b) for i, a in enumerate(pop_ids) for b in pop_ids[i + 1 :]
+    ]
+    stride = max(1, len(pairs) // sample_pairs)
+    routes: List[Tuple[RouteResult, RouteResult]] = []
+    for source, target in pairs[::stride]:
+        try:
+            shortest = router.shortest_path(source, target)
+            risky = router.risk_route(source, target)
+        except NoPathError:
+            continue
+        routes.append((shortest, risky))
+    if not routes:
+        raise ValueError("no routable pairs in the network")
+    return routes
 
 
 def route_survival(
@@ -139,25 +208,12 @@ def route_survival(
     """
     if not disasters:
         raise ValueError("need at least one disaster")
-    if sample_pairs < 1:
-        raise ValueError("sample_pairs must be positive")
-
-    router = RiskRouter(network.distance_graph(), model)
-    pop_ids = network.pop_ids()
-    pairs = [
-        (a, b) for i, a in enumerate(pop_ids) for b in pop_ids[i + 1 :]
+    routes = [
+        (set(shortest.path), set(risky.path))
+        for shortest, risky in sampled_pair_routes(
+            network, model, sample_pairs
+        )
     ]
-    stride = max(1, len(pairs) // sample_pairs)
-    routes: List[Tuple[Set[str], Set[str]]] = []
-    for source, target in pairs[::stride]:
-        try:
-            shortest = set(router.shortest_path(source, target).path)
-            risky = set(router.risk_route(source, target).path)
-        except NoPathError:
-            continue
-        routes.append((shortest, risky))
-    if not routes:
-        raise ValueError("no routable pairs in the network")
 
     failures = [failed_pops(network, d) for d in disasters]
     shortest_hits = 0

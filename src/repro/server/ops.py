@@ -130,6 +130,35 @@ def _check_number(name: str, value: Any) -> float:
     return value
 
 
+def _check_non_negative_number(name: str, value: Any) -> float:
+    value = _check_number(name, value)
+    if value < 0:
+        raise ProtocolError(
+            "bad_request", f"param {name!r} must be >= 0, got {value!r}"
+        )
+    return value
+
+
+def _check_non_negative_int(name: str, value: Any) -> int:
+    value = _check_int(name, value)
+    if value < 0:
+        raise ProtocolError(
+            "bad_request", f"param {name!r} must be >= 0, got {value!r}"
+        )
+    return value
+
+
+def _check_bool(name: str, value: Any) -> bool:
+    """Accept a JSON bool or 0/1 integer (CLI flags arrive as ints)."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    raise ProtocolError(
+        "bad_request", f"param {name!r} must be a boolean or 0/1, got {value!r}"
+    )
+
+
 def _check_name_list(name: str, value: Any) -> List[str]:
     if not isinstance(value, (list, tuple)) or not all(
         isinstance(item, str) for item in value
@@ -336,6 +365,67 @@ def _handle_provision(service, params: Dict[str, Any]) -> dict:
     return {"recommendations": [recommendation_to_dict(r) for r in recs]}
 
 
+def _handle_scenario(service, params: Dict[str, Any]) -> dict:
+    from ..scenario import CascadeConfig, ScenarioConfig, run_monte_carlo
+
+    network = service.session.network
+    if network is None:
+        raise ProtocolError(
+            "bad_request", "scenario requires a network-backed session"
+        )
+    # headroom 0 on the wire means unlimited capacity (JSON has no
+    # natural "infinity"; None already means "use the default").
+    headroom = params["headroom"]
+    cascade = CascadeConfig(
+        headroom=None if headroom == 0 else headroom,
+        redistribute=params["defense"],
+        alternates=params["alternates"],
+    )
+    config = ScenarioConfig(
+        scenarios=params["scenarios"],
+        seed=params["seed"],
+        srg_fraction=params["srg_fraction"],
+        corridor_miles=params["corridor_miles"],
+        sample_pairs=params["sample_pairs"],
+        cascade=cascade,
+        workers=params["workers"],
+    )
+    report = run_monte_carlo(network, service.session.model, config)
+    return report.as_dict()
+
+
+def _handle_shared_risk(service, params: Dict[str, Any]) -> dict:
+    from ..core.sharedrisk import shared_risk_report
+    from ..topology.zoo import network_by_name
+
+    network = service.session.network
+    if network is None:
+        raise ProtocolError(
+            "bad_request", "shared_risk requires a network-backed session"
+        )
+    other_name = params["other"]
+    if other_name == network.name:
+        # Self-comparison: divergence 0, full co-location — a useful
+        # sanity anchor (and it keeps the op exercisable on sessions
+        # serving networks outside the zoo corpus).
+        other = network
+    else:
+        try:
+            other = network_by_name(other_name)
+        except KeyError as exc:
+            raise ProtocolError("bad_request", str(exc))
+    report = shared_risk_report(network, other)
+    return {
+        "network_a": report.network_a,
+        "network_b": report.network_b,
+        "colocation_fraction_a": report.colocation_fraction_a,
+        "colocation_fraction_b": report.colocation_fraction_b,
+        "risk_profile_divergence": report.risk_profile_divergence,
+        "shared_metro_risk": report.shared_metro_risk,
+        "diversification_score": report.diversification_score,
+    }
+
+
 def _load_risk_file(path: str) -> Dict[str, Any]:
     """CLI loader for ``update-forecast``: JSON file path or ``-``."""
     if path == "-":
@@ -429,6 +519,64 @@ _register(OpSpec(
     ),
     handler=_handle_provision,
     routing="params",
+))
+
+_register(OpSpec(
+    name="scenario",
+    kind="read",
+    doc="Monte Carlo cascading-failure comparison of both policies.",
+    params=(
+        Param("scenarios", "correlated-failure events to draw",
+              default=200, check=_check_positive_int,
+              cli={"flag": "--scenarios", "type": int}, example=4),
+        Param("seed", "replay seed for the whole run",
+              default=2013, check=_check_int,
+              cli={"flag": "--seed", "type": int}, example=7),
+        Param("srg_fraction",
+              "probability a scenario activates a shared-risk group",
+              default=0.5, check=_check_non_negative_number,
+              cli={"flag": "--srg-fraction", "type": float}, example=0.5),
+        Param("headroom",
+              "capacity multiplier over baseline load (0 = unlimited)",
+              default=1.5, check=_check_non_negative_number,
+              cli={"flag": "--headroom", "type": float}, example=1.2),
+        Param("defense",
+              "dynamic load redistribution across risk-aware alternates",
+              default=True, check=_check_bool,
+              cli={"flag": "--defense", "type": int, "choices": (0, 1)},
+              example=1),
+        Param("alternates", "alternates a defended shed is split across",
+              default=3, check=_check_positive_int,
+              cli={"flag": "--alternates", "type": int}, example=2),
+        Param("sample_pairs", "survival route sample size",
+              default=60, check=_check_positive_int,
+              cli={"flag": "--sample-pairs", "type": int}, example=6),
+        Param("corridor_miles", "shared-risk corridor cell size",
+              default=50.0, check=_check_non_negative_number,
+              cli={"flag": "--corridor-miles", "type": float},
+              example=50.0),
+        Param("workers", "thread fan-out width (0 = serial)",
+              default=0, check=_check_non_negative_int,
+              cli={"flag": "--workers", "type": int}, example=0),
+    ),
+    handler=_handle_scenario,
+    routing="params",
+))
+
+_register(OpSpec(
+    name="shared_risk",
+    kind="read",
+    doc="Shared outage exposure vs another network (Section 8).",
+    params=(
+        Param("other", "the other network's corpus name", required=True,
+              check=_check_str,
+              cli={"positional": True,
+                   "help": 'corpus network name, e.g. "Sprint"'},
+              example="diamond"),
+    ),
+    handler=_handle_shared_risk,
+    routing="params",
+    cli_name="shared-risk",
 ))
 
 _register(OpSpec(

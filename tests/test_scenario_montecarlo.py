@@ -1,0 +1,94 @@
+"""Monte Carlo driver: seeded determinism across fan-out widths.
+
+All randomness is drawn up front from one generator; the chunked
+``thread_map`` execution is pure computation merged in task order —
+so the same seed must produce byte-identical reports at any worker
+count or chunk size.  That invariant is what lets the `scenario` op
+answer identically from the single-process server and every shard.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import CascadeConfig, ScenarioConfig, run_monte_carlo
+from tests.conftest import build_diamond_model, build_diamond_network
+
+N = 30
+
+
+def _run(**overrides):
+    config = ScenarioConfig(**{
+        "scenarios": N, "seed": 11, "sample_pairs": 10, **overrides
+    })
+    return run_monte_carlo(
+        build_diamond_network(), build_diamond_model(), config
+    )
+
+
+class TestDeterminism:
+    def test_identical_across_fanout_widths(self):
+        serial = _run(workers=0)
+        for workers, chunk_size in ((2, 4), (4, 32), (8, 1)):
+            fanned = _run(workers=workers, chunk_size=chunk_size)
+            assert fanned.as_dict() == serial.as_dict()
+
+    def test_seed_changes_the_draw(self):
+        assert _run().as_dict() != _run(seed=12).as_dict()
+
+
+class TestReportShape:
+    def test_event_counts_partition_the_run(self):
+        report = _run()
+        assert report.scenarios == N
+        assert report.srg_activations + report.disaster_events == N
+        assert report.srg_groups > 0
+        for metrics in (report.shortest, report.riskroute):
+            assert metrics.scenarios == N
+            assert sum(metrics.depth_distribution.values()) == N
+            assert 0.0 <= metrics.route_survival <= 1.0
+            assert metrics.demand_survival + metrics.unserved_demand == (
+                pytest.approx(1.0)
+            )
+            if metrics.partitions:
+                assert metrics.mttf_events == pytest.approx(
+                    N / metrics.partitions
+                )
+            else:
+                assert metrics.mttf_events is None
+
+    def test_srg_fraction_zero_is_pure_disasters(self):
+        report = _run(srg_fraction=0.0)
+        assert report.srg_activations == 0
+        assert report.disaster_events == N
+
+    def test_as_dict_is_json_serialisable(self):
+        payload = _run().as_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["survival_improvement"] == pytest.approx(
+            payload["riskroute"]["route_survival"]
+            - payload["shortest"]["route_survival"]
+        )
+
+    def test_defense_knob_threads_through(self):
+        defended = _run(cascade=CascadeConfig(redistribute=True))
+        naive = _run(cascade=CascadeConfig(redistribute=False))
+        assert (
+            naive.riskroute.mean_cascade_depth
+            > defended.riskroute.mean_cascade_depth
+        )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"scenarios": 0},
+        {"srg_fraction": 1.5},
+        {"srg_fraction": -0.1},
+        {"chunk_size": 0},
+        {"workers": -1},
+    ])
+    def test_bad_config_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**overrides)

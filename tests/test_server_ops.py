@@ -92,7 +92,9 @@ class TestRegistryShape:
         assert not REGISTRY["update_forecast"].retry_safe
         assert REGISTRY["stats"].is_barrier
         assert REGISTRY["stats"].retry_safe
-        for name in ("route", "pair", "ratios", "provision"):
+        for name in (
+            "route", "pair", "ratios", "provision", "scenario", "shared_risk",
+        ):
             assert not REGISTRY[name].is_barrier
             assert REGISTRY[name].retry_safe
 
@@ -221,7 +223,9 @@ class TestHandlerRoundTrip:
             assert reply["v"] == PROTOCOL_VERSION
             assert reply["result"] == json.loads(json.dumps(result))
             exercised.append(spec.name)
-        assert exercised == ["route", "pair", "ratios", "provision"]
+        assert exercised == [
+            "route", "pair", "ratios", "provision", "scenario", "shared_risk",
+        ]
 
     def test_planned_demands_execute_in_batches(self):
         """Every op with a plan callable survives the batch path."""

@@ -30,6 +30,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from ..core.bitrisk import PathMetrics
 from ..core.strategy import (
     SweepStrategy,
@@ -43,7 +45,7 @@ from .arrays import CsrGraph
 from .cache import ResultCache, SweepCache, alpha_bucket
 from .fingerprint import graph_fingerprint, risk_fingerprint
 from .parallel import EngineConfig, sweep_many
-from .sweep import SweepResult, csr_sweep
+from .sweep import SweepResult, csr_sweep, csr_sweep_batch
 
 __all__ = [
     "RoutingEngine",
@@ -83,6 +85,10 @@ class RoutingEngine:
         self._sweeps = SweepCache(self._config.sweep_cache_size)
         self._results = ResultCache(self._config.result_cache_size)
         self.risk_fingerprint = ""
+        self._latlon: Optional[np.ndarray] = None
+        self._landmarks = None
+        self._targeted_queries = 0
+        self._targeted_settled = 0
         self._bind_model(model)
 
     @classmethod
@@ -118,6 +124,10 @@ class RoutingEngine:
         self._sweeps = SweepCache(self._config.sweep_cache_size)
         self._results = ResultCache(self._config.result_cache_size)
         self.risk_fingerprint = ""
+        self._latlon = None
+        self._landmarks = None
+        self._targeted_queries = 0
+        self._targeted_settled = 0
         if risk_state is None:
             self._bind_model(model)
             return self
@@ -125,6 +135,9 @@ class RoutingEngine:
         self.model = model
         self._risk = [float(x) for x in risk]
         self._entry_risk = [float(x) for x in entry_risk]
+        # Zero-copy when the exporting side handed a shared-memory
+        # float64 view; a local copy otherwise.
+        self._entry_risk_np = np.asarray(entry_risk, dtype=np.float64)
         self._shares = [float(x) for x in shares]
         self._mean_share = (
             sum(self._shares) / len(self._shares) if self._shares else 0.0
@@ -142,6 +155,7 @@ class RoutingEngine:
         self.model = model
         self._risk = [model.node_risk(node) for node in node_ids]
         self._entry_risk = self._csr.neighbor_values(self._risk)
+        self._entry_risk_np = np.asarray(self._entry_risk, dtype=np.float64)
         self._shares = [model.share(node) for node in node_ids]
         self._mean_share = (
             sum(self._shares) / len(self._shares) if self._shares else 0.0
@@ -198,6 +212,7 @@ class RoutingEngine:
             "results": self._results.stats.as_dict(),
             "cached_sweeps": len(self._sweeps),
             "cached_results": len(self._results),
+            "targeted": self.targeted_stats(),
         }
 
     # -- coalescing hooks --------------------------------------------------
@@ -243,6 +258,90 @@ class RoutingEngine:
             self._entry_risk,
         )
 
+    def _np_arrays(self) -> tuple:
+        return (
+            self._csr.indptr,
+            self._csr.indices,
+            self._csr.weights,
+            self._entry_risk_np,
+        )
+
+    # -- coordinates and landmark bounds -----------------------------------
+
+    def set_coordinates(self, latlon) -> None:
+        """Attach per-node ``(lat, lon)`` degrees, in CSR row order.
+
+        Coordinates enable the great-circle bound family for targeted
+        queries (:mod:`repro.engine.landmarks`); they are topology
+        state, so they survive every model swap.  Passing coordinates
+        after a landmark index was already built rebuilds it lazily.
+        """
+        if latlon is None:
+            return
+        arr = np.asarray(latlon, dtype=np.float64)
+        if arr.shape != (self._csr.node_count, 2):
+            raise ValueError(
+                f"latlon must be ({self._csr.node_count}, 2), "
+                f"got {arr.shape}"
+            )
+        if self._latlon is not None and np.array_equal(self._latlon, arr):
+            return
+        self._latlon = arr
+        self._landmarks = None
+
+    @property
+    def coordinates(self) -> Optional[np.ndarray]:
+        """Per-node ``(lat, lon)`` degrees, when attached."""
+        return self._latlon
+
+    def landmark_index(self):
+        """The lazily built per-topology landmark bounds
+        (:class:`repro.engine.landmarks.LandmarkIndex`).
+
+        Risk-independent (``alpha == 0`` distances only), so the index
+        survives every forecast swap; it is rebuilt only when
+        coordinates change.
+        """
+        if self._landmarks is None:
+            from .landmarks import LandmarkIndex
+
+            self._landmarks = LandmarkIndex.build(
+                *self._np_arrays()[:3],
+                k=self._config.landmark_count,
+                latlon=self._latlon,
+            )
+        return self._landmarks
+
+    def targeted_stats(self) -> dict:
+        """Settle counters for landmark-pruned pair queries.
+
+        ``settled / (queries * node_count)`` is the fraction of the
+        graph a pruned query actually visited.
+        """
+        return {
+            "queries": self._targeted_queries,
+            "settled": self._targeted_settled,
+            "node_count": self._csr.node_count,
+        }
+
+    def _use_bucketed(self, batch_size: int) -> bool:
+        kernel = self._config.kernel
+        if kernel == "exact":
+            return False
+        if kernel == "bucketed":
+            return True
+        return (
+            self._csr.node_count >= self._config.bucketed_min_nodes
+            and batch_size >= self._config.bucketed_min_batch
+        )
+
+    def _use_targeted(self) -> bool:
+        return (
+            self._config.kernel != "exact"
+            and self._config.targeted_min_nodes > 0
+            and self._csr.node_count >= self._config.targeted_min_nodes
+        )
+
     def _sweep_idx(self, source: int, alpha: float) -> SweepResult:
         key = alpha_bucket(alpha, self._config.alpha_resolution)
         cached = self._sweeps.get(key, source)
@@ -271,10 +370,26 @@ class RoutingEngine:
                 missing[(key, source)] = None
         if not missing:
             return 0
-        batch = [(source, key) for key, source in missing]
-        for result in sweep_many(self._arrays(), batch, self._config):
+        # Alpha-bucket sharing: all coalesced sources under one bucket
+        # are answered by a single multi-source call of the bucketed
+        # kernel; buckets too small to vectorize (and the "exact"
+        # kernel) fall through to the per-source reference path.
+        buckets: "OrderedDict[float, List[int]]" = OrderedDict()
+        for key, source in missing:
+            buckets.setdefault(key, []).append(source)
+        serial: List[Tuple[int, float]] = []
+        delta = self._config.sweep_delta or None
+        for key, sources in buckets.items():
+            if self._use_bucketed(len(sources)):
+                for result in csr_sweep_batch(
+                    *self._np_arrays(), sources, key, delta=delta
+                ):
+                    self._sweeps.put(key, result.source, result)
+            else:
+                serial.extend((source, key) for source in sources)
+        for result in sweep_many(self._arrays(), serial, self._config):
             self._sweeps.put(result.alpha, result.source, result)
-        return len(batch)
+        return len(missing)
 
     def prefetch_per_source(
         self, sources: Optional[Sequence[str]] = None
@@ -331,15 +446,19 @@ class RoutingEngine:
     # -- route assembly ----------------------------------------------------
 
     def _route(self, sweep: SweepResult, target: int):
-        """Materialise one RouteResult from a settled sweep.
+        """Materialise one RouteResult from a settled sweep."""
+        return self._route_from_path(sweep.path_to(target))
 
-        Walks the parent chain and accumulates mileage and risk in
-        forward path order — the exact float-summation order of
-        :func:`repro.core.bitrisk.path_metrics`.
+    def _route_from_path(self, path_idx: Sequence[int]):
+        """Score one node-index path into a RouteResult.
+
+        Accumulates mileage and risk in forward path order — the exact
+        float-summation order of
+        :func:`repro.core.bitrisk.path_metrics` — under the pair's true
+        impact, regardless of the alpha the path was found at.
         """
         from ..core.riskroute import RouteResult
 
-        path_idx = sweep.path_to(target)
         names = self._csr.node_ids
         distance = 0.0
         risk = 0.0
@@ -353,6 +472,39 @@ class RoutingEngine:
         metrics = PathMetrics(path, distance, risk, alpha)
         return RouteResult(path[0], path[-1], metrics)
 
+    def _targeted_route(self, s: int, t: int, alpha: float):
+        """Landmark-pruned single-pair route on a cold cache.
+
+        Returns None when the full sweep should be used instead (it is
+        already cached, so pruning would only discard work).  The A*
+        search runs at the *bucketed* alpha — the same objective the
+        cached sweep would have used — and the chosen path is re-scored
+        under the pair's true impact by :meth:`_route_from_path`, so
+        the reported costs match the sweep path exactly.
+        """
+        from ..graph.shortest_path import NoPathError
+        from .landmarks import targeted_sweep
+
+        key = alpha_bucket(alpha, self._config.alpha_resolution)
+        if self._sweeps.peek(key, s):
+            return None
+        cache_key = ("targeted", s, t, key)
+        cached = self._results.get(cache_key)
+        if cached is not None:
+            return cached
+        bounds = self.landmark_index().lower_bounds(t)
+        result = targeted_sweep(
+            *self._np_arrays(), s, t, key, bounds=bounds
+        )
+        self._targeted_queries += 1
+        self._targeted_settled += result.settled
+        if not result.reachable:
+            names = self._csr.node_ids
+            raise NoPathError(names[s], names[t])
+        route = self._route_from_path(result.path)
+        self._results.put(cache_key, route)
+        return route
+
     # -- single-pair queries -----------------------------------------------
 
     def shortest_path(self, source: str, target: str):
@@ -362,6 +514,10 @@ class RoutingEngine:
             NoPathError: when disconnected.
         """
         s, t = self._idx(source), self._idx(target)
+        if self._use_targeted():
+            route = self._targeted_route(s, t, 0.0)
+            if route is not None:
+                return route
         sweep = self._sweep_idx(s, 0.0)
         if sweep.dist[t] == _INF:
             raise NoPathError(source, target)
@@ -370,11 +526,21 @@ class RoutingEngine:
     def risk_route(self, source: str, target: str):
         """The exact Equation 3 optimum for one pair.
 
+        On continental-scale topologies (see
+        ``EngineConfig.targeted_min_nodes``) a cold query runs the
+        landmark-pruned A* search instead of settling the whole graph;
+        the distance is the same bit-for-bit and the path identical up
+        to exactly-tied optima.
+
         Raises:
             NoPathError: when disconnected.
         """
         s, t = self._idx(source), self._idx(target)
         alpha = self._shares[s] + self._shares[t]
+        if self._use_targeted():
+            route = self._targeted_route(s, t, alpha)
+            if route is not None:
+                return route
         sweep = self._sweep_idx(s, alpha)
         if sweep.dist[t] == _INF:
             raise NoPathError(source, target)

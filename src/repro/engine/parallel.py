@@ -49,6 +49,26 @@ class EngineConfig:
             keying; see :func:`repro.engine.cache.alpha_bucket`).
         sweep_cache_size: max memoized sweeps per engine.
         result_cache_size: max memoized aggregates per engine.
+        kernel: sweep kernel selection — ``"auto"`` batches prefetches
+            through the bucketed multi-source kernel
+            (:func:`repro.engine.sweep.csr_sweep_batch`) once a
+            topology/batch is big enough, ``"exact"`` always uses the
+            heapq reference (byte-parity with the historical per-pair
+            path, including first-touch order), ``"bucketed"`` always
+            batches.  Corpus-size networks stay on ``"exact"`` under
+            ``"auto"`` — see ``bucketed_min_nodes``.
+        bucketed_min_nodes: under ``"auto"``, the smallest node count
+            that routes prefetches through the bucketed kernel.
+        bucketed_min_batch: under ``"auto"``, the smallest same-alpha
+            batch worth a vectorized call.
+        targeted_min_nodes: the smallest node count where a cold
+            single-pair query runs the landmark-pruned A* search
+            (:mod:`repro.engine.landmarks`) instead of settling a full
+            sweep; cached sweeps are always preferred.  ``0`` disables
+            targeted search entirely.
+        landmark_count: landmarks per topology for the A* lower bounds.
+        sweep_delta: bucket width for the bucketed kernel (0 = the
+            kernel's automatic choice; correctness never depends on it).
     """
 
     workers: int = 0
@@ -56,6 +76,12 @@ class EngineConfig:
     alpha_resolution: float = 0.0
     sweep_cache_size: int = 65536
     result_cache_size: int = 256
+    kernel: str = "auto"
+    bucketed_min_nodes: int = 256
+    bucketed_min_batch: int = 4
+    targeted_min_nodes: int = 1024
+    landmark_count: int = 8
+    sweep_delta: float = 0.0
 
     def __post_init__(self) -> None:
         if self.workers < 0:
@@ -67,6 +93,21 @@ class EngineConfig:
             )
         if self.alpha_resolution < 0:
             raise ValueError("alpha_resolution must be >= 0")
+        if self.kernel not in ("auto", "exact", "bucketed"):
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; expected 'auto', "
+                "'exact' or 'bucketed'"
+            )
+        if self.bucketed_min_nodes < 0:
+            raise ValueError("bucketed_min_nodes must be >= 0")
+        if self.bucketed_min_batch < 1:
+            raise ValueError("bucketed_min_batch must be >= 1")
+        if self.targeted_min_nodes < 0:
+            raise ValueError("targeted_min_nodes must be >= 0")
+        if self.landmark_count < 1:
+            raise ValueError("landmark_count must be >= 1")
+        if self.sweep_delta < 0:
+            raise ValueError("sweep_delta must be >= 0")
 
     @property
     def parallel(self) -> bool:

@@ -92,6 +92,10 @@ class SharedEngineState:
             "entry_risk": np.asarray(engine._entry_risk, dtype=np.float64),
             "shares": np.asarray(engine._shares, dtype=np.float64),
         }
+        if engine.coordinates is not None:
+            # Optional: lets shard children run landmark-pruned pair
+            # queries with the great-circle bound family.
+            arrays["latlon"] = engine.coordinates
         segments: List[shared_memory.SharedMemory] = []
         entries: Dict[str, Tuple[str, str, Tuple[int, ...]]] = {}
         try:
@@ -223,6 +227,8 @@ def attach_engine(
             manifest.risk_fingerprint,
         ),
     )
+    if "latlon" in views:
+        engine.set_coordinates(views["latlon"])
     # Keep the mappings alive exactly as long as the engine: the numpy
     # views borrow the segments' buffers.
     engine._shm_segments = segments

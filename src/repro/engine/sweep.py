@@ -1,15 +1,27 @@
-"""The array-based risk-weighted Dijkstra kernel.
+"""The risk-weighted sweep kernels.
 
-This is the engine's hot loop: the same search as
-:func:`repro.core.riskroute._risk_dijkstra` (relaxing ``(u, v)`` costs
-``d_uv + alpha * risk(v)``) but over flat CSR arrays with integer nodes.
-Given identical relaxation order and the same insertion-counter
-tie-break, it settles nodes, assigns parents, and *first-touches* nodes
-in exactly the same order as the dict-based reference — which is what
-lets engine results be byte-identical to the historical per-pair path.
+Two kernels settle the same search — relaxing ``(u, v)`` costs
+``d_uv + alpha * risk(v)`` over flat CSR arrays with integer nodes:
+
+* :func:`csr_sweep` — the **exact reference**: a pure-Python heapq
+  Dijkstra whose relaxation order and insertion-counter tie-break match
+  :func:`repro.core.riskroute._risk_dijkstra` exactly.  It settles
+  nodes, assigns parents, and *first-touches* nodes in exactly the same
+  order as the dict-based reference — which is what lets engine results
+  be byte-identical to the historical per-pair path.
+* :func:`csr_sweep_batch` — the **bucketed multi-source kernel**: a
+  vectorized delta-stepping-style search that settles whole frontiers
+  with numpy relaxations, running *many sources at once* over one shared
+  set of effective edge costs (one alpha bucket).  Distances and
+  parents agree with the reference bit-for-bit whenever the shortest
+  -path tree is unique (candidate costs are accumulated with the exact
+  same float operations, ``(d + w) + alpha * risk``, in path order);
+  only the *first-touch order* is kernel-specific, because a bucketed
+  search discovers nodes frontier-by-frontier rather than one heap pop
+  at a time.
 
 ``alpha == 0`` degenerates to the plain geographic Dijkstra, so shortest
--path sweeps share this kernel (and its cache) too.
+-path sweeps share these kernels (and their cache) too.
 """
 
 from __future__ import annotations
@@ -18,7 +30,9 @@ from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import List, Optional, Sequence
 
-__all__ = ["SweepResult", "csr_sweep"]
+import numpy as np
+
+__all__ = ["SweepResult", "csr_sweep", "csr_sweep_batch"]
 
 _INF = float("inf")
 
@@ -27,17 +41,23 @@ _INF = float("inf")
 class SweepResult:
     """One settled single-source search over the CSR arrays.
 
-    ``order`` lists nodes in first-touch order (source first) — the
-    array analogue of dict insertion order in the reference
-    implementation, which downstream aggregation iterates to reproduce
-    historical float-summation order exactly.
+    ``order`` lists nodes in first-touch order (source first).  For the
+    exact kernel this is the array analogue of dict insertion order in
+    the reference implementation, which downstream aggregation iterates
+    to reproduce historical float-summation order exactly; for the
+    bucketed kernel it is that kernel's own deterministic discovery
+    order.
+
+    ``dist`` / ``parent`` / ``order`` are plain lists from the exact
+    kernel and numpy arrays from the bucketed kernel; both back the
+    same integer-indexed access pattern.
     """
 
     source: int
     alpha: float
-    dist: List[float]
-    parent: List[int]
-    order: List[int]
+    dist: Sequence[float]
+    parent: Sequence[int]
+    order: Sequence[int]
 
     def path_to(self, target: int) -> List[int]:
         """Node index path source → target (parent-chain walk).
@@ -47,10 +67,10 @@ class SweepResult:
         """
         if self.dist[target] == _INF:
             raise ValueError(f"node {target} unreachable in sweep")
-        path = [target]
-        node = target
+        path = [int(target)]
+        node = int(target)
         while node != self.source:
-            node = self.parent[node]
+            node = int(self.parent[node])
             path.append(node)
         path.reverse()
         return path
@@ -65,7 +85,7 @@ def csr_sweep(
     alpha: float,
     target: Optional[int] = None,
 ) -> SweepResult:
-    """Risk-weighted Dijkstra over CSR arrays.
+    """Risk-weighted Dijkstra over CSR arrays (the exact reference).
 
     Args:
         indptr / indices / weights: the CSR adjacency.
@@ -73,8 +93,15 @@ def csr_sweep(
             ``node_risk[indices[k]]`` pre-gathered flat.
         source: start node index.
         alpha: impact scaling (0 → pure geographic shortest path).
-        target: optional early-exit node; the full sweep (no target) is
-            what the cache stores, since it serves every later query.
+        target: optional early-exit node — the search stops as soon as
+            the target is *settled*, leaving later nodes unsettled.
+            Early exit is parity-safe: settle order and first-touch
+            order up to (and including) the target are unchanged from
+            the full sweep, so ``dist[target]``, the parent chain to it
+            and the ``order`` prefix are identical.  The full sweep
+            (no target) is what the cache stores, since it serves every
+            later query; targeted pair queries pass ``target`` to skip
+            the rest of the graph.
     """
     n = len(indptr) - 1
     dist = [_INF] * n
@@ -104,3 +131,193 @@ def csr_sweep(
                 counter += 1
                 heappush(heap, (candidate, counter, nbr))
     return SweepResult(source, alpha, dist, parent, order)
+
+
+def csr_sweep_batch(
+    indptr,
+    indices,
+    weights,
+    entry_risk,
+    sources: Sequence[int],
+    alpha: float,
+    delta: Optional[float] = None,
+) -> List[SweepResult]:
+    """Batched multi-source risk-weighted sweep (bucketed kernel).
+
+    Runs every source in ``sources`` simultaneously under one shared
+    ``alpha`` — the alpha-bucket-sharing entry point: the engine groups
+    all coalesced sweep demands per alpha bucket and answers each bucket
+    with a single call.  State is a flat ``(len(sources) * n)`` distance
+    /parent/first-touch tableau; each round relaxes the out-edges of the
+    whole current frontier (all sources at once) with vectorized numpy
+    gather/scatter-min operations.
+
+    The search is organised delta-stepping style: pending entries are
+    processed in buckets of width ``delta`` in increasing distance.
+    Within the current bucket the frontier is re-relaxed to a fixpoint
+    (short edges can re-improve entries inside the bucket); entries
+    improved beyond the bucket boundary wait for their bucket.  Because
+    every improvement re-activates its entry, correctness does not
+    depend on ``delta`` — with non-negative costs no entry can be
+    improved by a later bucket, so when a bucket closes its entries hold
+    their final Dijkstra distances.  ``delta`` only tunes how much work
+    each vectorized step amortises; the default is the mean effective
+    edge cost.
+
+    Bit-parity contract: candidate costs are accumulated exactly as the
+    reference kernel does — ``(d + w) + alpha * risk`` per edge, in path
+    order — so final distances (and parents) are bitwise identical to
+    :func:`csr_sweep` whenever no two distinct paths tie to the last
+    ulp.  Exact ties resolve deterministically (first achiever in flat
+    CSR order) but may differ from the heapq tie-break; first-touch
+    ``order`` is this kernel's own deterministic discovery order.
+
+    Returns one numpy-backed :class:`SweepResult` per source, in input
+    order.
+    """
+    indptr = np.asarray(indptr, dtype=np.int64)
+    indices = np.asarray(indices, dtype=np.int64)
+    weights = np.asarray(weights, dtype=np.float64)
+    entry_risk = np.asarray(entry_risk, dtype=np.float64)
+    alpha = float(alpha)
+    n = int(indptr.shape[0]) - 1
+    src = np.asarray(list(sources), dtype=np.int64)
+    s_count = int(src.shape[0])
+    if s_count == 0:
+        return []
+    if np.any((src < 0) | (src >= n)):
+        raise IndexError("source index out of range")
+
+    row_counts = np.diff(indptr)
+    if delta is None or delta <= 0.0:
+        # A few mean edge costs per bucket keeps each vectorized step
+        # large enough to amortise its numpy call overhead; correctness
+        # never depends on the choice (see below).
+        if weights.shape[0]:
+            delta = 8.0 * float(weights.mean() + alpha * entry_risk.mean())
+        else:
+            delta = 1.0
+        if delta <= 0.0:
+            delta = 1.0
+
+    total_cells = s_count * n
+    dist = np.full(total_cells, _INF, dtype=np.float64)
+    parent = np.full(total_cells, -1, dtype=np.int64)
+    # First-touch sequence number per (source, node); -1 = untouched.
+    touch = np.full(total_cells, -1, dtype=np.int64)
+    row_base = np.arange(s_count, dtype=np.int64) * n
+    start = row_base + src
+    dist[start] = 0.0
+    touch[start] = np.arange(s_count, dtype=np.int64)
+    seq = s_count
+
+    # Pending entries (flat (source, node) cells with a finite distance
+    # not yet settled), maintained incrementally — the tableau is never
+    # scanned.  Each outer round settles one bucket [b*delta, (b+1)*delta)
+    # to a fixpoint; entries improved past the boundary wait in `carry`.
+    # When a round ends, every pending cell with dist < limit has been
+    # relaxed and (non-negative costs) can never improve again, so only
+    # cells at or beyond the boundary carry forward.
+    #
+    # Scatter/gather dedup scratch: writing each winning edge's position
+    # then reading it back keeps exactly one entry per cell (the last
+    # writer) with no per-step sort.  Never reset: every gather reads
+    # only cells the same step just wrote.
+    scratch = np.empty(total_cells, dtype=np.int64)
+    pending = start
+    while pending.size:
+        dmin = float(dist[pending].min())
+        limit = (np.floor(dmin / delta) + 1.0) * delta
+        frontier = pending[dist[pending] < limit]
+        if frontier.size == 0:
+            # Float-rounding guards: at extreme magnitudes the bucket
+            # boundary can collapse onto dmin; fall back to settling
+            # exactly the minimum entries (plain Dijkstra step).
+            limit = dmin + delta
+            frontier = pending[dist[pending] < limit]
+            if frontier.size == 0:
+                limit = float(np.nextafter(dmin, _INF))
+                frontier = pending[dist[pending] <= dmin]
+        carry = [pending[dist[pending] >= limit]]
+        while frontier.size:
+            us = frontier % n
+            counts = row_counts[us]
+            total = int(counts.sum())
+            hit = None
+            if total:
+                cum = np.cumsum(counts)
+                # One fused repeat expands every per-frontier-row value
+                # to per-edge: [row start offset base, CSR row start,
+                # source-row base, relaxed node, frontier distance
+                # (float64 carried bit-exactly through an int64 view)].
+                per_row = np.empty((5, frontier.size), dtype=np.int64)
+                np.subtract(cum, counts, out=per_row[0])
+                per_row[1] = indptr[us]
+                np.subtract(frontier, us, out=per_row[2])
+                per_row[3] = us
+                per_row[4] = dist[frontier].view(np.int64)
+                expanded = np.repeat(per_row, counts, axis=1)
+                epos = expanded[1] + (
+                    np.arange(total, dtype=np.int64) - expanded[0]
+                )
+                vs = indices[epos]
+                # Accumulated exactly as the reference kernel:
+                # (d + w) + alpha * risk, elementwise IEEE float64.
+                cand = (
+                    expanded[4].view(np.float64)
+                    + weights[epos]
+                    + alpha * entry_risk[epos]
+                )
+                tgt = expanded[2] + vs
+                improving = cand < dist[tgt]
+                if improving.any():
+                    tgt_i = tgt[improving]
+                    cand_i = cand[improving]
+                    np.minimum.at(dist, tgt_i, cand_i)
+                    # Edges achieving the post-step minimum, reversed so
+                    # that after scatter/gather dedup (last writer wins)
+                    # the surviving entry per cell is the *first* in
+                    # flat CSR order — the kernel's tie-break.
+                    wins = cand_i == dist[tgt_i]
+                    tgt_w = tgt_i[wins][::-1]
+                    positions = np.arange(tgt_w.shape[0], dtype=np.int64)
+                    scratch[tgt_w] = positions
+                    keep = scratch[tgt_w] == positions
+                    hit = tgt_w[keep]
+                    parent[hit] = expanded[3][improving][wins][::-1][keep]
+                    fresh = hit[touch[hit] < 0]
+                    if fresh.size:
+                        touch[fresh] = seq + np.arange(
+                            fresh.size, dtype=np.int64
+                        )
+                        seq += int(fresh.size)
+            if hit is None:
+                break
+            in_bucket = dist[hit] < limit
+            carry.append(hit[~in_bucket])
+            frontier = hit[in_bucket]
+        pending = np.unique(np.concatenate(carry))
+        # Entries improved into this bucket after being queued for a
+        # later one were settled by the inner fixpoint above.
+        pending = pending[dist[pending] >= limit]
+
+    # Materialize per-source views over the shared tableau: one batched
+    # argsort recovers every source's first-touch order at once.
+    dist2 = dist.reshape(s_count, n)
+    parent2 = parent.reshape(s_count, n)
+    touch2 = touch.reshape(s_count, n)
+    sort_key = np.where(touch2 < 0, np.iinfo(np.int64).max, touch2)
+    order_all = np.argsort(sort_key, axis=1, kind="stable")
+    touched_counts = np.count_nonzero(touch2 >= 0, axis=1)
+    results: List[SweepResult] = []
+    for i in range(s_count):
+        results.append(
+            SweepResult(
+                int(src[i]),
+                alpha,
+                dist2[i],
+                parent2[i],
+                order_all[i, : touched_counts[i]],
+            )
+        )
+    return results

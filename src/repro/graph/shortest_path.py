@@ -135,10 +135,57 @@ def shortest_path_length(graph: Graph[N], source: N, target: N) -> float:
 
 def all_pairs_shortest_paths(
     graph: Graph[N],
+    session=None,
 ) -> Dict[N, Tuple[Dict[N, float], Dict[N, N]]]:
     """Run single-source Dijkstra from every node.
 
     Returns a map ``source -> (dist, parent)``.  The framework's ratio
     computations (Equations 5-6) consume this directly.
+
+    When ``session`` is a :class:`~repro.session.RoutingSession` whose
+    graph matches ``graph``, the computation routes through the
+    engine's batched multi-source sweep core (``alpha == 0`` sweeps,
+    shared with every other geographic consumer of the engine cache);
+    distances are bit-identical to the naive driver because both
+    accumulate ``d + w`` in path order.  A session over a *different*
+    graph — or anything without an engine — falls back to the naive
+    per-source loop, so callers can pass an optional session blindly.
     """
+    if session is not None:
+        results = _all_pairs_via_session(graph, session)
+        if results is not None:
+            return results
     return {node: dijkstra(graph, node) for node in graph.nodes()}
+
+
+def _all_pairs_via_session(
+    graph: Graph[N], session
+) -> Optional[Dict[N, Tuple[Dict[N, float], Dict[N, N]]]]:
+    """Engine-backed all-pairs, or ``None`` when the session does not
+    cover ``graph`` (fingerprint mismatch, no engine)."""
+    engine = getattr(session, "engine", None)
+    if engine is None:
+        return None
+    # Lazy import: graph.* must stay importable without the engine layer.
+    from ..engine.fingerprint import graph_fingerprint
+
+    if engine.topology_fingerprint != graph_fingerprint(graph):
+        return None
+    ids = engine.node_ids
+    # One batched warm-up: every missing geographic sweep is computed in
+    # as few multi-source kernel calls as the alpha-bucket grouping
+    # allows (a single call here, since every task shares alpha == 0).
+    engine.prefetch((s, 0.0) for s in range(len(ids)))
+    results: Dict[N, Tuple[Dict[N, float], Dict[N, N]]] = {}
+    for s, name in enumerate(ids):
+        sweep = engine.sweep(name, 0.0)
+        dist: Dict[N, float] = {}
+        parent: Dict[N, N] = {}
+        for v in sweep.order:
+            v = int(v)
+            dist[ids[v]] = float(sweep.dist[v])
+            p = int(sweep.parent[v])
+            if p >= 0:
+                parent[ids[v]] = ids[p]
+        results[name] = (dist, parent)
+    return results

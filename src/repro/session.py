@@ -90,7 +90,20 @@ class RoutingSession:
     @property
     def engine(self) -> RoutingEngine:
         """The shared engine for the current (graph, model) binding."""
-        return get_engine(self._graph, self.model, self._config)
+        engine = get_engine(self._graph, self.model, self._config)
+        if self.network is not None and engine.coordinates is None:
+            # PoP coordinates enable great-circle lower bounds for
+            # landmark-pruned pair queries on large topologies.
+            engine.set_coordinates(
+                [
+                    (
+                        self.network.pop(node).location.lat,
+                        self.network.pop(node).location.lon,
+                    )
+                    for node in engine.node_ids
+                ]
+            )
+        return engine
 
     def configure(self, config: EngineConfig) -> "RoutingSession":
         """Apply new engine tuning; returns self for chaining."""

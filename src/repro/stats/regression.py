@@ -44,12 +44,23 @@ def linear_regression(
         raise ValueError("need at least two points to fit a line")
     x_mean = x_arr.mean()
     y_mean = y_arr.mean()
-    sxx = float(np.sum((x_arr - x_mean) ** 2))
-    if sxx == 0.0:
+    # Work on deviations rescaled to O(1): raw sums of squares underflow
+    # for deviations below ~1e-154 (their squares are subnormal), which
+    # would silently report a vertical stack for genuinely sloped data.
+    dx = x_arr - x_mean
+    dy = y_arr - y_mean
+    x_scale = float(np.max(np.abs(dx)))
+    if x_scale == 0.0:
         # Vertical stack of points: the best horizontal line is y = mean.
         return LinearFit(slope=0.0, intercept=float(y_mean), r_squared=0.0)
-    sxy = float(np.sum((x_arr - x_mean) * (y_arr - y_mean)))
-    slope = sxy / sxx
+    y_scale = float(np.max(np.abs(dy)))
+    if y_scale == 0.0:
+        # Constant observations: slope 0, and r_squared keeps its
+        # degenerate-case convention (no variance to explain -> 0.0).
+        return LinearFit(slope=0.0, intercept=float(y_mean), r_squared=0.0)
+    ux = dx / x_scale
+    uy = dy / y_scale
+    slope = (y_scale / x_scale) * float(np.sum(ux * uy) / np.sum(ux * ux))
     intercept = float(y_mean - slope * x_mean)
     predictions = slope * x_arr + intercept
     return LinearFit(

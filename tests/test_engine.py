@@ -341,3 +341,109 @@ class TestErrors:
         engine = RoutingEngine(graph, model)
         with pytest.raises(NoPathError):
             engine.risk_route("diamond:west", "island")
+
+
+class TestKernelSelection:
+    """The bucketed kernel and targeted A* behind EngineConfig gates."""
+
+    def _forced(self, kernel="bucketed", **extra):
+        return EngineConfig(
+            kernel=kernel,
+            bucketed_min_nodes=0,
+            bucketed_min_batch=1,
+            **extra,
+        )
+
+    def test_forced_bucketed_prefetch_matches_exact(
+        self, diamond_graph, diamond_model
+    ):
+        exact = RoutingEngine(
+            diamond_graph, diamond_model, config=EngineConfig(kernel="exact")
+        )
+        forced = RoutingEngine(
+            diamond_graph, diamond_model, config=self._forced()
+        )
+        n = forced.node_count
+        for e in (exact, forced):
+            e.prefetch((s, 0.0) for s in range(n))
+        for source in exact.node_ids:
+            a = exact.sweep(source, 0.0)
+            b = forced.sweep(source, 0.0)
+            assert list(a.dist) == list(b.dist)
+            assert list(a.parent) == list(b.parent)
+
+    def test_targeted_route_equals_exact_route(self, diamond_network):
+        model = build_diamond_model()
+        exact = RoutingEngine(
+            diamond_network.distance_graph(),
+            model,
+            config=EngineConfig(kernel="exact"),
+        )
+        targeted = RoutingEngine(
+            diamond_network.distance_graph(),
+            model,
+            config=self._forced(kernel="auto", targeted_min_nodes=1),
+        )
+        targeted.set_coordinates(
+            [
+                (
+                    diamond_network.pop(node).location.lat,
+                    diamond_network.pop(node).location.lon,
+                )
+                for node in targeted.node_ids
+            ]
+        )
+        for source in exact.node_ids:
+            for target in exact.node_ids:
+                if source == target:
+                    continue
+                a = exact.risk_route(source, target)
+                b = targeted.risk_route(source, target)
+                assert a.path == b.path
+                assert a.metrics == b.metrics
+                s = exact.shortest_path(source, target)
+                t = targeted.shortest_path(source, target)
+                assert s.path == t.path
+        stats = targeted.targeted_stats()
+        assert stats["queries"] > 0
+        assert stats["settled"] <= stats["queries"] * targeted.node_count
+
+    def test_targeted_disconnected_pair_raises(self, diamond_network):
+        from repro.graph.shortest_path import NoPathError
+        from repro.risk.model import RiskModel
+
+        graph = diamond_network.distance_graph()
+        graph.add_node("island")
+        shares = {n: 0.25 for n in graph.nodes()}
+        oh = {n: 1e-3 for n in graph.nodes()}
+        of = {n: 0.0 for n in graph.nodes()}
+        model = RiskModel(shares, oh, of)
+        engine = RoutingEngine(
+            graph, model, config=self._forced(kernel="auto", targeted_min_nodes=1)
+        )
+        with pytest.raises(NoPathError):
+            engine.risk_route("diamond:west", "island")
+        assert engine.targeted_stats()["queries"] >= 1
+
+    def test_invalid_kernel_config_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(kernel="quantum")
+        with pytest.raises(ValueError):
+            EngineConfig(bucketed_min_batch=0)
+        with pytest.raises(ValueError):
+            EngineConfig(sweep_delta=-1.0)
+        with pytest.raises(ValueError):
+            EngineConfig(landmark_count=0)
+
+    def test_set_coordinates_validates_and_resets(self, engine):
+        with pytest.raises(ValueError):
+            engine.set_coordinates([(0.0, 0.0)])  # wrong length
+        coords = [(float(i), float(-i)) for i in range(engine.node_count)]
+        engine.set_coordinates(coords)
+        index = engine.landmark_index()
+        assert index is engine.landmark_index()  # cached
+        engine.set_coordinates(coords)  # unchanged: keep the index
+        assert index is engine.landmark_index()
+        coords2 = [(lat + 1.0, lon) for lat, lon in coords]
+        engine.set_coordinates(coords2)  # changed: rebuild lazily
+        assert engine.landmark_index() is not index

@@ -97,6 +97,39 @@ class TestAllPairs:
         assert sweeps["a"][0]["f"] == pytest.approx(sweeps["f"][0]["a"])
 
 
+class TestAllPairsViaSession:
+    """Satellite: all_pairs routed through the engine's batched sweeps."""
+
+    def _session(self, network):
+        from repro.session import RoutingSession
+
+        return RoutingSession(network)
+
+    def test_matches_naive_bitwise(self, diamond_network):
+        session = self._session(diamond_network)
+        graph = diamond_network.distance_graph()
+        naive = all_pairs_shortest_paths(graph)
+        routed = all_pairs_shortest_paths(graph, session=session)
+        assert set(routed) == set(naive)
+        for source in naive:
+            # Distances bit-identical (same float ops in path order);
+            # reached sets identical.
+            assert routed[source][0] == naive[source][0]
+            assert set(routed[source][1]) == set(naive[source][1])
+
+    def test_mismatched_session_falls_back(self, diamond_network):
+        session = self._session(diamond_network)
+        other = grid_graph()
+        routed = all_pairs_shortest_paths(other, session=session)
+        assert routed == all_pairs_shortest_paths(other)
+
+    def test_sessionless_object_falls_back(self):
+        g = grid_graph()
+        assert all_pairs_shortest_paths(g, session=object()) == (
+            all_pairs_shortest_paths(g)
+        )
+
+
 class TestReconstructPath:
     def test_missing_target(self):
         with pytest.raises(NoPathError):

@@ -1,16 +1,19 @@
 """Tests for repro.topology.builders."""
 
+import math
+
 import numpy as np
 import pytest
 
 from repro.geo.distance import haversine_miles
 from repro.topology.builders import (
     build_network,
+    continental_network,
     gabriel_pairs,
     mesh_links,
     place_pops,
 )
-from repro.topology.cities import top_cities
+from repro.topology.cities import ALL_CITIES, top_cities
 from repro.topology.network import Network
 
 
@@ -141,3 +144,82 @@ class TestBuildNetwork:
         net = build_network("demo", top_cities(1), 1, 2.0)
         assert net.pop_count == 1
         assert net.link_count == 0
+
+
+class TestContinentalNetwork:
+    def test_small_build_connected_and_sized(self):
+        net = continental_network(pop_count=120, seed=3)
+        assert net.pop_count == 120
+        assert net.is_connected()
+        target_links = round(3.2 * 120 / 2)
+        assert net.link_count >= 119  # at least spanning
+        assert abs(net.link_count - target_links) <= 2
+
+    def test_deterministic_for_seed(self):
+        # The only randomness is the per-metro bearing offset, which
+        # only moves repeat PoPs — so seeds must matter exactly when
+        # cities host more than one PoP.
+        def build(pop_count, seed):
+            net = continental_network(pop_count=pop_count, seed=seed)
+            return (
+                sorted(l.endpoints for l in net.links()),
+                sorted(
+                    (p.pop_id, p.location.lat, p.location.lon)
+                    for p in net.pops()
+                ),
+            )
+
+        assert build(80, 5) == build(80, 5)
+        assert build(80, 5) == build(80, 6)  # no repeats, no randomness
+        scale = len(ALL_CITIES) + 40
+        assert build(scale, 5) == build(scale, 5)
+        assert build(scale, 5) != build(scale, 6)
+
+    def test_quota_covers_every_city_at_scale(self):
+        # pop_count >= gazetteer size: every city gets at least one PoP.
+        count = len(ALL_CITIES) + 40
+        net = continental_network(pop_count=count, seed=0)
+        assert net.pop_count == count
+        cities = {p.city for p in net.pops()}
+        assert len(cities) == len(ALL_CITIES)
+
+    def test_metro_scatter_stays_local(self):
+        spread = 2.0
+        net = continental_network(
+            pop_count=len(ALL_CITIES) + 60,
+            seed=1,
+            metro_spread_miles=spread,
+        )
+        by_city = {}
+        for pop in net.pops():
+            by_city.setdefault(pop.city, []).append(pop)
+        widest = max(len(pops) for pops in by_city.values())
+        assert widest > 1  # repeats exist, so the scatter is exercised
+        for pops in by_city.values():
+            if len(pops) < 2:
+                continue
+            anchor = pops[0].location
+            for pop in pops[1:]:
+                # Vogel spiral radius is spread * sqrt(k).
+                bound = spread * math.sqrt(len(pops)) + 1e-6
+                assert haversine_miles(anchor, pop.location) <= bound
+
+    def test_footprint_is_continental(self):
+        net = continental_network(pop_count=150, seed=0)
+        lats = [p.location.lat for p in net.pops()]
+        lons = [p.location.lon for p in net.pops()]
+        assert max(lats) - min(lats) > 10.0
+        assert max(lons) - min(lons) > 30.0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            continental_network(pop_count=1)
+        with pytest.raises(ValueError):
+            continental_network(pop_count=10, avg_degree=0.5)
+        with pytest.raises(ValueError):
+            continental_network(pop_count=10, neighbors=0)
+
+    def test_unique_pop_ids(self):
+        net = continental_network(pop_count=500, seed=0)
+        ids = [p.pop_id for p in net.pops()]
+        assert len(ids) == len(set(ids))

@@ -210,6 +210,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan query batches across this many shard processes over a "
         "shared-memory engine export (default: 0 = in-process)",
     )
+    serve_p.add_argument(
+        "--replicas", type=int, default=1,
+        help="shards serving each read key (default: 1 = single-owner "
+        "affinity; >= 2 adds load-balanced routing and transparent "
+        "failover; clamped to --shards)",
+    )
+    serve_p.add_argument(
+        "--hedge-ms", type=float, default=0.0, dest="hedge_ms",
+        help="floor in milliseconds on the hedged-read delay; a slow "
+        "read batch is duplicated to a second replica after max(this, "
+        "observed p99) and the first reply wins (default: 0 = off; "
+        "needs --replicas >= 2)",
+    )
 
     query_p = sub.add_parser("query", help="query a running daemon")
     query_p.add_argument("--host", default="127.0.0.1")
@@ -502,6 +515,12 @@ def _cmd_serve(args) -> int:
     if args.shards < 0:
         print("--shards must be >= 0", file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.hedge_ms < 0:
+        print("--hedge-ms must be >= 0", file=sys.stderr)
+        return 2
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -509,16 +528,25 @@ def _cmd_serve(args) -> int:
         request_timeout=args.request_timeout,
         batch_linger=args.batch_linger,
         shards=args.shards,
+        replicas=args.replicas,
+        hedge_ms=args.hedge_ms,
     )
 
     async def _amain() -> None:
         server = RiskRouteServer(session, config)
         host, port = await server.start()
         if args.shards > 0:
+            replicas = min(args.replicas, args.shards)
+            hedging = (
+                f", hedge >= {args.hedge_ms:g}ms"
+                if args.hedge_ms > 0 and replicas > 1
+                else ""
+            )
             # stderr: stdout carries the machine-read banner below.
             print(
                 f"sharded serving: {args.shards} worker processes over "
-                "a shared-memory engine export",
+                f"a shared-memory engine export "
+                f"(replicas={replicas}{hedging})",
                 file=sys.stderr,
                 flush=True,
             )

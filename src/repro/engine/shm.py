@@ -34,6 +34,7 @@ risk vector.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
@@ -76,6 +77,16 @@ class SharedEngineState:
     ) -> None:
         self.manifest = manifest
         self._segments = segments
+        # Unlink guard against abnormal parent death: /dev/shm segments
+        # outlive their creator, so a parent that dies without close()
+        # (unhandled exception, sys.exit mid-serve) would leak pages
+        # sized like the whole topology until reboot.  weakref.finalize
+        # fires on garbage collection *and* at interpreter exit
+        # (atexit), unlinking whatever close() has not; the callback
+        # must not hold ``self`` or the finalizer would keep the object
+        # alive forever.  Unlinking also unregisters from the resource
+        # tracker, so no "leaked shared_memory" warnings either.
+        self._finalizer = weakref.finalize(self, _release_all, segments)
 
     @classmethod
     def export(cls, engine: RoutingEngine) -> "SharedEngineState":
@@ -130,15 +141,22 @@ class SharedEngineState:
         Only the parent calls this; children merely close their own
         mappings on exit.
         """
+        self._finalizer.detach()  # clean path: no second unlink pass
         segments, self._segments = self._segments, []
-        for segment in segments:
-            _release(segment, unlink=True)
+        _release_all(segments)
 
     def __enter__(self) -> "SharedEngineState":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+def _release_all(segments: List[shared_memory.SharedMemory]) -> None:
+    """Unmap + unlink a segment list (module-level so the dirty-exit
+    finalizer can run without resurrecting its owner)."""
+    for segment in segments:
+        _release(segment, unlink=True)
 
 
 def _release(segment: shared_memory.SharedMemory, unlink: bool) -> None:

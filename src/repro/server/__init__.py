@@ -46,6 +46,10 @@ from it.  A daemon started with ``shards=N``
 (:class:`~repro.server.shards.ShardPool`) fans query batches across N
 worker processes over a shared-memory engine export, with writes
 applied in the parent and broadcast behind a fingerprint barrier.
+With ``replicas=R >= 2`` each read key is rendezvous-replicated over R
+shards with load-balanced (power-of-two-choices) routing, transparent
+one-hop failover on a mid-batch crash, and optional hedged reads
+(``hedge_ms``) — see :mod:`repro.server.shards`.
 
 Run one from the CLI (``riskroute serve Level3 --shards 4``),
 in-process (:class:`ServerThread`), or under your own loop
@@ -72,7 +76,7 @@ from .protocol import (
     parse_request,
 )
 from .service import QueryService, SwapOutcome
-from .shards import ShardPool, shard_of
+from .shards import ShardConfig, ShardPool, replicas_of, shard_of
 from .stats import ServerStats
 
 __all__ = [
@@ -89,8 +93,10 @@ __all__ = [
     "FAULT_SITES",
     "QueryService",
     "SwapOutcome",
+    "ShardConfig",
     "ShardPool",
     "shard_of",
+    "replicas_of",
     "OpSpec",
     "Param",
     "REGISTRY",

@@ -86,8 +86,13 @@ class RetryPolicy:
             0.5 = sleep somewhere in [0.5, 1.0] x delay).
         budget: total seconds a call may spend across all retries;
             exhausting it re-raises the last failure immediately.
-        retry_codes: server error codes worth retrying — rejections
-            issued *before* execution, so they are safe for every op.
+        retry_codes: server error codes worth retrying.
+            ``overloaded`` / ``shutting_down`` are rejections issued
+            *before* execution, so they are safe for every op;
+            ``shard_unavailable`` is only ever attached to replicated
+            reads (a key's whole replica set was down for a moment —
+            idempotent by classification), so riding through the
+            respawn window with a retry is safe too.
     """
 
     attempts: int = 4
@@ -96,7 +101,11 @@ class RetryPolicy:
     max_delay: float = 2.0
     jitter: float = 0.5
     budget: float = 30.0
-    retry_codes: Tuple[str, ...] = ("overloaded", "shutting_down")
+    retry_codes: Tuple[str, ...] = (
+        "overloaded",
+        "shutting_down",
+        "shard_unavailable",
+    )
 
     def __post_init__(self) -> None:
         if self.attempts < 1:

@@ -58,7 +58,7 @@ from .protocol import (
     parse_request,
 )
 from .service import QueryService, field_cache_stats
-from .shards import ShardPool
+from .shards import ShardConfig, ShardPool
 from .stats import ServerStats
 
 __all__ = ["ServerConfig", "RiskRouteServer", "ServerThread"]
@@ -90,6 +90,16 @@ class ServerConfig:
             broadcast behind a fingerprint barrier.
         shard_timeout: seconds the shard watchdog waits for one shard's
             batch (or warm-up ping) before declaring it hung.
+        replicas: shards serving each read key (clamped to ``shards``).
+            1 (the default) keeps PR 6 single-owner affinity
+            bit-for-bit; R >= 2 rendezvous-replicates every pair/params
+            key over R shards with load-balanced routing and
+            transparent one-hop failover for reads.
+        hedge_ms: floor, in milliseconds, on the hedged-read delay.
+            0 (the default) disables hedging; positive values duplicate
+            a slow read batch to a second replica after a p99-derived
+            delay and take the first reply.  Ignored when
+            ``replicas < 2``.
     """
 
     host: str = "127.0.0.1"
@@ -103,6 +113,8 @@ class ServerConfig:
     faults: Optional[FaultPlane] = None
     shards: int = 0
     shard_timeout: float = 120.0
+    replicas: int = 1
+    hedge_ms: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -117,6 +129,10 @@ class ServerConfig:
             raise ValueError("shards must be >= 0")
         if self.shard_timeout <= 0:
             raise ValueError("shard_timeout must be > 0")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.hedge_ms < 0:
+            raise ValueError("hedge_ms must be >= 0")
 
 
 class RiskRouteServer:
@@ -164,11 +180,15 @@ class RiskRouteServer:
         if self.config.shards > 0:
             pool = ShardPool(
                 self.session,
-                self.config.shards,
+                ShardConfig(
+                    shards=self.config.shards,
+                    replicas=min(self.config.replicas, self.config.shards),
+                    hedge_ms=self.config.hedge_ms,
+                    batch_timeout=self.config.shard_timeout,
+                    spawn_timeout=self.config.shard_timeout,
+                ),
                 faults=self._faults,
                 engine_config=getattr(self.session, "_config", None),
-                batch_timeout=self.config.shard_timeout,
-                spawn_timeout=self.config.shard_timeout,
             )
             # Export + spawn on the service executor: the engine is
             # only ever touched from that one thread.
@@ -434,6 +454,9 @@ class RiskRouteServer:
                     metrics = await loop.run_in_executor(
                         self._executor, self._shards.execute_batch, live
                     )
+                    self.stats.read_failovers += metrics.get("failovers", 0)
+                    self.stats.hedged_reads += metrics.get("hedges", 0)
+                    self.stats.hedge_wins += metrics.get("hedge_wins", 0)
                     healed = self._sync_shard_health()
                 else:
                     metrics = await loop.run_in_executor(
@@ -565,6 +588,7 @@ class RiskRouteServer:
             payload["shards"] = {
                 "count": self._shards.nshards,
                 "alive": self._shards.alive(),
+                "replicas": self._shards.replicas,
             }
         payload.update(self._network_info())
         return payload

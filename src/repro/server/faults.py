@@ -50,9 +50,23 @@ Sites (see :data:`FAULT_SITES`):
     visited in the *parent* (one visit per shard-batch send), which
     then flags the doomed send, so counters survive shard respawns and
     ``hits=(1,)`` kills exactly one shard exactly once — the first
-    shard to receive a batch.  Exercises shard supervision: typed
-    ``internal`` errors for the batch, respawn + re-warm, and
-    ``degraded`` health until a clean batch completes.
+    shard to receive a batch.  Exercises shard supervision: at
+    ``replicas=1`` typed ``internal`` errors for the batch, respawn +
+    re-warm, and ``degraded`` health until a clean batch completes; at
+    ``replicas >= 2`` the transparent read failover path instead.
+``shard_stall``
+    A shard sleeps ``delay`` seconds after receiving a batch, before
+    serving it — a slow-but-alive shard.  Visited in the parent (one
+    visit per primary shard-batch send) like ``shard_exit``.
+    Exercises the hedged-read trigger: with ``hedge_ms`` armed, the
+    parent duplicates the stalled batch's reads to a second replica
+    and takes the first reply.
+``replica_crash``
+    The shard receiving a *failover re-dispatch* hard-exits before
+    replying — the both-replicas-down window.  Visited in the parent,
+    one visit per failover send.  Exercises the one-hop bound: the
+    re-dispatched reads get typed, retry-safe ``shard_unavailable``
+    errors instead of a second failover hop.
 """
 
 from __future__ import annotations
@@ -72,6 +86,8 @@ FAULT_SITES = (
     "executor_stall",
     "apply_update",
     "shard_exit",
+    "shard_stall",
+    "replica_crash",
 )
 
 

@@ -84,7 +84,11 @@ KINDS = ("read", "write", "control")
 #: ``params`` hashes the canonical parameter dict (so repeats of the
 #: same heavy query land on the same shard's memoized result cache),
 #: ``parent`` is answered/applied by the parent process only, and
-#: ``inline`` never reaches the worker at all (``health``).
+#: ``inline`` never reaches the worker at all (``health``).  Under a
+#: replicated pool (``ShardConfig.replicas >= 2``) the two shard-routed
+#: modes widen to a rendezvous-hashed replica set and gain balancing,
+#: failover and hedging for ``read``-kind ops (:attr:`OpSpec.replicable`);
+#: ``parent`` / ``inline`` routing is unaffected by replication.
 ROUTINGS = ("pair", "params", "parent", "inline")
 
 
@@ -266,6 +270,20 @@ class OpSpec:
     def retry_safe(self) -> bool:
         """Safe to blindly re-send after a connection drop."""
         return self.kind in ("read", "control")
+
+    @property
+    def replicable(self) -> bool:
+        """Served identically by any replica of the op's shard key.
+
+        Shard-routed reads (``pair`` / ``params``) are the ops the
+        pool may balance, fail over, or hedge across a key's replica
+        set (:func:`repro.server.shards.replicas_of`): every replica
+        maps the same shared-memory arrays and runs the same service
+        code, so replies are byte-identical wherever they are served.
+        Writes, parent-answered controls and inline ops never qualify
+        — they keep single-authority, fail-fast semantics.
+        """
+        return self.kind == "read" and self.routing in ("pair", "params")
 
     @property
     def command(self) -> str:

@@ -93,6 +93,12 @@ ERROR_CODES = (
     "shutting_down",  # daemon draining; no new work admitted
     "unsupported_version",  # envelope version above what this side speaks
     "internal",       # unexpected server-side failure
+    # A read's whole replica set is down (replicated shard pools only:
+    # the primary crashed mid-batch and the one-hop failover failed
+    # too).  Reads are idempotent, so this is always safe to retry —
+    # RetryPolicy does by default.  Single-replica pools keep emitting
+    # ``internal`` for shard crashes.
+    "shard_unavailable",
 )
 
 

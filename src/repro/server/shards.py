@@ -18,13 +18,46 @@ Topology of one sharded daemon::
                                    | engine   | engine   |
                                    +----------+----------+
 
-**Routing** is registry-driven (:func:`shard_of`): pair ops (``route``
-/ ``pair``) hash ``network|source|target`` so a pair always lands on
-the same shard — its ``(alpha bucket, source)`` sweep cache stays hot
-— while params-routed ops (``ratios`` / ``provision``) hash their
-canonical parameter dict, so repeats of the same heavy query hit the
-same shard's memoized result cache.  Writes and ``stats`` never reach
-a shard (``routing="parent"``).
+**Placement** is registry-driven.  With ``replicas=1`` (the default),
+:func:`shard_of` pins each key to exactly one shard: pair ops
+(``route`` / ``pair``) hash ``network|source|target`` so a pair always
+lands on the same shard — its ``(alpha bucket, source)`` sweep cache
+stays hot — while params-routed ops (``ratios`` / ``provision``) hash
+their canonical parameter dict, so repeats of the same heavy query hit
+the same shard's memoized result cache.  With ``replicas=R >= 2``,
+:func:`replicas_of` widens each key to its top-R shards under
+**rendezvous (highest-random-weight) hashing** over the same blake2b
+affinity key: every replica of a key is a full substitute for the
+others (identical arrays, identical service code), adding a shard
+moves only the keys that shard wins, and growing R keeps the first
+R-1 replicas unchanged.  Writes and ``stats`` never reach a shard
+(``routing="parent"``).
+
+**Balancing**: for ``read``-kind ops the parent picks among a key's
+live replicas by **power of two choices** — sample two candidates,
+send to the less loaded, where load is the shard's in-flight batch
+count plus its pipe queue depth in items (plus what this batch has
+already assigned it).  A celebrity key therefore spreads over its R
+replicas instead of saturating one process, at the cost of cache
+affinity for that key.
+
+**Failover**: with ``replicas >= 2``, a shard that dies mid-batch has
+its undelivered *read* requests transparently re-dispatched to a
+surviving replica — bounded by exactly one failover hop, preserving
+the exactly-once ``delivered`` guard (an item is only ever filled
+once).  If the failover hop fails too, the request gets a typed
+``shard_unavailable`` error, which clients may safely retry
+(:class:`~repro.server.client.RetryPolicy` does by default).  With
+``replicas=1`` the PR 6 behavior is preserved bit-for-bit: typed
+``internal`` errors, fail-fast.  Writes always keep fail-fast
+semantics — they are applied by the parent and barriered, never
+re-dispatched.
+
+**Hedging** (off by default, ``hedge_ms > 0`` enables): when a
+replicated read batch has not answered within a p99-derived delay
+(never below ``hedge_ms``), the parent duplicates its undelivered
+items to a second replica and takes the first reply per item; the
+loser's late reply is drained and discarded by sequence number.
 
 **Writes** keep the single-process guarantee: the parent applies
 ``update_forecast`` authoritatively (token ledger, transactional
@@ -35,17 +68,19 @@ barrier placement means no query batch is in flight during the
 broadcast, so no reply anywhere can mix pre- and post-advisory risk;
 a shard that fails the barrier is killed and respawned warm.
 
-**Supervision** mirrors the PR4 single-worker watchdog, per shard: a
-shard that dies mid-batch (crash, injected ``shard_exit`` fault, or a
-batch watchdog timeout) has its in-flight requests failed with typed
-``internal`` errors — exactly one reply per admitted request, never a
-hung socket — is respawned from the shared segments, re-warmed with
-the current forecast field, and the daemon reports ``degraded`` until
-a batch completes cleanly.
+**Supervision / rejoin** mirrors the PR4 single-worker watchdog, per
+shard: a crashed shard is killed, its in-flight reads failed over (or
+typed errors emitted), and a replacement spawned from the shared
+segments.  The replacement only re-enters the placement map after
+echoing the pool's current risk fingerprint on its warm-up ping
+(:meth:`ShardPool._spawn` raises otherwise and the slot stays down) —
+routing skips dead slots, so clients are served by the surviving
+replicas until the rejoin barrier passes.
 
 Because every shard executes the identical service code over the
 identical arrays, replies are **byte-identical** to single-process
-mode — same paths, same floats, same fingerprints.
+mode — same paths, same floats, same fingerprints — regardless of
+which replica served them.
 """
 
 from __future__ import annotations
@@ -54,9 +89,13 @@ import hashlib
 import json
 import multiprocessing
 import os
+import random
 import signal
+import time
+from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional, Tuple
+from multiprocessing.connection import wait as _wait_conns
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from ..engine.shm import ShmManifest, SharedEngineState, attach_engine
 from . import ops
@@ -64,40 +103,127 @@ from .coalesce import PendingRequest
 from .faults import FaultPlane
 from .protocol import Request, encode_error
 
-__all__ = ["ShardPool", "ShardSpec", "shard_of"]
+__all__ = [
+    "ShardConfig",
+    "ShardPool",
+    "ShardSpec",
+    "replicas_of",
+    "shard_of",
+]
 
 
-def shard_of(request: Request, nshards: int) -> int:
-    """The shard index one request routes to (deterministic).
+def _affinity_key(request: Request) -> Optional[str]:
+    """The placement key one request hashes under (None = malformed).
 
-    ``pair``-routed ops hash ``network|source|target`` (the network
-    prefix of the source PoP id gives per-network affinity); ``params``
-    -routed ops hash their canonical parameter JSON.  Malformed
-    requests fall through to shard 0, whose service produces the typed
-    error reply.
+    ``pair``-routed ops key ``network|source|target`` (the network
+    prefix of the source PoP id gives per-network affinity); every
+    other op keys its canonical parameter JSON.
     """
-    if nshards <= 1:
-        return 0
     spec = ops.REGISTRY.get(request.op)
     routing = spec.routing if spec is not None else "params"
     if routing == "pair":
         source = request.params.get("source")
         target = request.params.get("target")
         if not (isinstance(source, str) and isinstance(target, str)):
-            return 0
+            return None
         network = source.split(":", 1)[0]
-        key = f"{network}|{source}|{target}"
-    else:
-        try:
-            key = json.dumps(
-                {"op": request.op, "params": request.params},
-                sort_keys=True,
-                default=repr,
-            )
-        except (TypeError, ValueError):
-            return 0
+        return f"{network}|{source}|{target}"
+    try:
+        return json.dumps(
+            {"op": request.op, "params": request.params},
+            sort_keys=True,
+            default=repr,
+        )
+    except (TypeError, ValueError):
+        return None
+
+
+def shard_of(request: Request, nshards: int) -> int:
+    """The primary shard index one request routes to (deterministic).
+
+    This is the PR 6 placement — blake2b of the affinity key, modulo
+    the shard count — and stays the *only* placement when
+    ``replicas=1``.  Malformed requests fall through to shard 0, whose
+    service produces the typed error reply.
+    """
+    if nshards <= 1:
+        return 0
+    key = _affinity_key(request)
+    if key is None:
+        return 0
     digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big") % nshards
+
+
+def replicas_of(
+    request: Request, nshards: int, replicas: int
+) -> Tuple[int, ...]:
+    """The ordered replica set (placement map row) for one request.
+
+    ``replicas <= 1`` returns ``(shard_of(request, nshards),)`` —
+    bit-for-bit the PR 6 modulo placement, so single-replica configs
+    cannot move a single key.  ``replicas >= 2`` ranks every shard by
+    ``blake2b(key + "#" + sid)`` (rendezvous hashing) and takes the
+    top ``min(replicas, nshards)``:
+
+    * stable under shard-count growth — adding shard N only claims the
+      keys N now wins; all other placements are untouched;
+    * prefix-stable under replica growth — the R-replica set is a
+      prefix of the (R+1)-replica set;
+    * deterministic and key-order independent, like :func:`shard_of`.
+
+    Malformed requests pin to ``(0,)`` so the typed error reply comes
+    from one place.
+    """
+    if nshards <= 1:
+        return (0,)
+    replicas = max(1, min(replicas, nshards))
+    if replicas == 1:
+        return (shard_of(request, nshards),)
+    key = _affinity_key(request)
+    if key is None:
+        return (0,)
+    ranked = sorted(
+        range(nshards),
+        key=lambda sid: hashlib.blake2b(
+            f"{key}#{sid}".encode("utf-8"), digest_size=8
+        ).digest(),
+        reverse=True,
+    )
+    return tuple(ranked[:replicas])
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Placement and balancing knobs for one :class:`ShardPool`.
+
+    ``replicas`` is clamped to ``shards`` by the pool; ``replicas=1``
+    reproduces PR 6 single-owner affinity exactly.  ``hedge_ms=0``
+    (the default) disables hedged reads; any positive value arms them
+    with that floor on the hedge delay (the pool raises the delay to
+    its observed p99 batch service time once it has samples).
+    """
+
+    shards: int
+    replicas: int = 1
+    hedge_ms: float = 0.0
+    #: Seconds to wait for one shard batch before the shard is
+    #: declared hung and killed.
+    batch_timeout: float = 120.0
+    #: Seconds to wait for a (re)spawned shard's warm-up ping.
+    spawn_timeout: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        if self.hedge_ms < 0:
+            raise ValueError("hedge_ms must be >= 0")
+        if self.batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive")
+        if self.spawn_timeout <= 0:
+            raise ValueError("spawn_timeout must be positive")
 
 
 @dataclass(frozen=True)
@@ -128,15 +254,19 @@ def _shard_main(shard_id: int, conn, spec: ShardSpec) -> None:
 
     Message protocol (parent -> child / child -> parent)::
 
-        ("ping", seq)            -> ("pong", seq, risk_fingerprint, pid)
-        ("batch", seq, items)    -> ("batch", seq, replies, metrics)
-        ("swap", seq, field)     -> ("swap", seq, risk_fingerprint, changed)
-        ("stop",)                -> (child exits)
+        ("ping", seq)                      -> ("pong", seq, risk_fingerprint, pid)
+        ("batch", seq, items, die, stall)  -> ("batch", seq, replies, metrics)
+        ("swap", seq, field)               -> ("swap", seq, risk_fingerprint, changed)
+        ("stop",)                          -> (child exits)
 
     Batch items are ``(request_id, op, params, v)`` tuples; replies are
     ``(reply_bytes, ok)`` in item order — the child runs the *real*
     :meth:`QueryService.execute_batch`, so the encoded reply lines are
-    byte-identical to single-process serving.
+    byte-identical to single-process serving.  ``die`` (the parent's
+    ``shard_exit`` / ``replica_crash`` fault plane) kills the child
+    before it answers; ``stall`` (the ``shard_stall`` site) sleeps
+    that many seconds first — a slow-but-alive shard, the hedging
+    trigger.
     """
     # The parent orchestrates shutdown (drain, then "stop"); a Ctrl+C
     # delivered to the whole process group must not kill shards first.
@@ -172,14 +302,18 @@ def _shard_main(shard_id: int, conn, spec: ShardSpec) -> None:
                  os.getpid())
             )
         elif kind == "batch":
-            _, seq, items, die = message
+            _, seq, items, die, stall = message
             if die:
                 # Injected mid-batch death (the parent's ``shard_exit``
-                # fault plane fired for this send): the batch is
-                # consumed but never answered, exactly like a
-                # seg-faulted worker.
+                # or ``replica_crash`` fault plane fired for this
+                # send): the batch is consumed but never answered,
+                # exactly like a seg-faulted worker.
                 conn.close()
                 os._exit(13)
+            if stall:
+                # Injected slowness (``shard_stall``): the shard is
+                # alive but late — the hedged-read trigger.
+                time.sleep(stall)
             pending = [
                 PendingRequest(
                     request=Request(op=op, id=rid, params=params, v=v),
@@ -226,6 +360,14 @@ class _Shard:
     pid: int
     batches: int = 0
     swaps: int = 0
+    #: Load signal: batches sent but not yet answered, and the item
+    #: count still queued in those batches (pipe queue depth).
+    inflight_batches: int = 0
+    inflight_items: int = 0
+
+    @property
+    def load(self) -> int:
+        return self.inflight_batches + self.inflight_items
 
 
 class ShardPool:
@@ -239,32 +381,39 @@ class ShardPool:
     Args:
         session: the parent's :class:`~repro.session.RoutingSession`
             (its engine is exported; its model seeds the shards).
-        nshards: shard process count.
-        faults: fault plane — ``shard_exit`` is visited parent-side
-            (counters survive respawns); a copy still pickles into
-            each child for the service-level sites.
+        config: a :class:`ShardConfig`, or a bare shard count (kept
+            for callers predating replication).
+        faults: fault plane — ``shard_exit`` / ``shard_stall`` /
+            ``replica_crash`` are visited parent-side (counters
+            survive respawns); a copy still pickles into each child
+            for the service-level sites.
         engine_config: tuning for shard engines (None = defaults).
-        batch_timeout: seconds to wait for one shard batch before the
-            shard is declared hung and killed.
-        spawn_timeout: seconds to wait for a (re)spawned shard's warm-up
-            ping.
+        batch_timeout / spawn_timeout: overrides for the matching
+            :class:`ShardConfig` fields (legacy keyword interface).
     """
 
     def __init__(
         self,
         session,
-        nshards: int,
+        config,
         *,
         faults: Optional[FaultPlane] = None,
         engine_config=None,
-        batch_timeout: float = 120.0,
-        spawn_timeout: float = 120.0,
+        batch_timeout: Optional[float] = None,
+        spawn_timeout: Optional[float] = None,
     ) -> None:
-        if nshards < 1:
-            raise ValueError("nshards must be >= 1")
-        self.nshards = nshards
-        self.batch_timeout = batch_timeout
-        self.spawn_timeout = spawn_timeout
+        if isinstance(config, int):
+            config = ShardConfig(shards=config)
+        if batch_timeout is not None:
+            config = replace(config, batch_timeout=batch_timeout)
+        if spawn_timeout is not None:
+            config = replace(config, spawn_timeout=spawn_timeout)
+        self.config = config
+        self.nshards = config.shards
+        self.replicas = min(config.replicas, config.shards)
+        self.hedge_ms = config.hedge_ms
+        self.batch_timeout = config.batch_timeout
+        self.spawn_timeout = config.spawn_timeout
         self._session = session
         self._faults = faults
         self._engine_config = engine_config
@@ -274,12 +423,35 @@ class ShardPool:
         self._ctx = multiprocessing.get_context("spawn")
         self._state: Optional[SharedEngineState] = None
         self._spec: Optional[ShardSpec] = None
-        self._shards: List[Optional[_Shard]] = [None] * nshards
+        self._shards: List[Optional[_Shard]] = [None] * self.nshards
         self._seq = 0
+        #: (sid, seq) -> (item count, send time) for every batch sent
+        #: but not yet answered; drives the load signal and lets stale
+        #: replies (lost hedges) be drained with correct accounting.
+        self._sent: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        #: Replies that arrived while the pool was waiting on a
+        #: *different* sequence from the same shard (a pipe is FIFO:
+        #: an earlier group's reply can land first during a failover
+        #: collect).  Consumed by that group's own collect; entries
+        #: cannot outlive their execute_batch call.
+        self._stash: Dict[Tuple[int, int], Any] = {}
+        #: Sequences nobody will ever collect (hedges that lost, or a
+        #: primary the hedges fully covered): their late replies are
+        #: drained and dropped.
+        self._abandoned: Set[Tuple[int, int]] = set()
+        #: Recent batch service times (send -> reply, seconds) for the
+        #: p99-derived hedge delay.
+        self._service_times: Deque[float] = deque(maxlen=512)
+        # Seeded: the two-choice sample is reproducible run to run.
+        self._rng = random.Random(0x52525247)
         #: Risk fingerprint every healthy shard must currently report.
         self.fingerprint: Optional[str] = None
         self.crashes = 0
         self.restarts = 0
+        self.failovers = 0
+        self.hedges = 0
+        self.hedge_wins = 0
+        self.unavailable = 0
         self.last_crash: Optional[str] = None
 
     # -- lifecycle ---------------------------------------------------------
@@ -326,12 +498,22 @@ class ShardPool:
             except OSError:
                 pass
             self._shards[sid] = None
+        self._sent.clear()
+        self._stash.clear()
+        self._abandoned.clear()
         if self._state is not None:
             self._state.close()
             self._state = None
 
     def _spawn(self, sid: int) -> _Shard:
-        """Start one shard and block until its warm-up ping acks."""
+        """Start one shard and block until its warm-up ping acks.
+
+        The fingerprint check *is* the rejoin barrier: a replacement
+        shard only enters the placement map (``self._shards[sid]``)
+        after echoing the pool's current risk fingerprint — a shard
+        warmed on a stale field is killed here and its slot stays
+        down, served by the surviving replicas.
+        """
         assert self._spec is not None
         spec = replace(self._spec, forecast_field=self._current_field())
         parent_conn, child_conn = self._ctx.Pipe()
@@ -379,6 +561,66 @@ class ShardPool:
             shard.process.kill()
         shard.process.join(timeout=5)
 
+    def _teardown(self, sid: int) -> None:
+        """Kill one shard and forget its in-flight bookkeeping."""
+        shard = self._shards[sid]
+        if shard is not None:
+            self._kill(shard)
+            self._shards[sid] = None
+        for key in [key for key in self._sent if key[0] == sid]:
+            del self._sent[key]
+        self._abandoned = {
+            key for key in self._abandoned if key[0] != sid
+        }
+
+    def _is_up(self, sid: int) -> bool:
+        shard = self._shards[sid]
+        return shard is not None and shard.process.is_alive()
+
+    # -- routing -----------------------------------------------------------
+
+    def _route(self, request: Request, assigned: Dict[int, int]) -> int:
+        """Pick the shard for one request (power of two choices).
+
+        ``assigned`` counts items this batch has already given each
+        shard, so the choice sees the load it is itself creating.
+        Single-replica keys short-circuit to the PR 6 owner.  Dead
+        slots are skipped while any replica lives; when *every*
+        replica is down, the primary is returned so the send path pays
+        for (and gates on) its respawn.
+        """
+        candidates = replicas_of(request, self.nshards, self.replicas)
+        if len(candidates) == 1:
+            return candidates[0]
+        alive = [sid for sid in candidates if self._is_up(sid)]
+        pool = alive if alive else list(candidates)
+        if len(pool) > 2:
+            pool = sorted(self._rng.sample(pool, 2), key=candidates.index)
+
+        def load(sid: int) -> int:
+            shard = self._shards[sid]
+            inflight = 0 if shard is None else shard.load
+            return inflight + assigned.get(sid, 0)
+
+        return min(pool, key=lambda sid: (load(sid), candidates.index(sid)))
+
+    def _failover_target(
+        self, request: Request, dead_sid: int
+    ) -> Optional[int]:
+        """The surviving replica a read re-dispatches to (or None).
+
+        Only ``replicable`` ops (reads served identically by any
+        replica) ever fail over; writes and parent-routed ops cannot
+        reach here, but the guard keeps the invariant local.
+        """
+        spec = ops.REGISTRY.get(request.op)
+        if spec is None or not spec.replicable:
+            return None
+        for sid in replicas_of(request, self.nshards, self.replicas):
+            if sid != dead_sid and self._is_up(sid):
+                return sid
+        return None
+
     # -- batch fan-out -----------------------------------------------------
 
     def execute_batch(self, batch: List[PendingRequest]) -> Dict[str, int]:
@@ -386,68 +628,418 @@ class ShardPool:
 
         Same contract as
         :meth:`~repro.server.service.QueryService.execute_batch`, plus
-        a ``crashes`` count: shards that died mid-batch (their items
-        carry typed ``internal`` errors and the shard was respawned).
+        ``crashes`` (shards lost mid-batch), ``failovers`` (read items
+        transparently answered by a surviving replica) and ``hedges``
+        / ``hedge_wins`` (duplicated reads and how many a hedge
+        answered first).
         """
         groups: Dict[int, List[PendingRequest]] = {}
+        assigned: Dict[int, int] = {}
         for item in batch:
-            groups.setdefault(
-                shard_of(item.request, self.nshards), []
-            ).append(item)
-        metrics = {"demands": 0, "coalesced": 0, "computed": 0, "crashes": 0}
+            sid = self._route(item.request, assigned)
+            groups.setdefault(sid, []).append(item)
+            assigned[sid] = assigned.get(sid, 0) + 1
+        metrics = {
+            "demands": 0,
+            "coalesced": 0,
+            "computed": 0,
+            "crashes": 0,
+            "failovers": 0,
+            "hedges": 0,
+            "hedge_wins": 0,
+        }
         inflight: List[Tuple[int, int, List[PendingRequest]]] = []
         for sid in sorted(groups):
             group = groups[sid]
             shard = self._ensure_shard(sid)
             if shard is None:
-                self._fail_group(sid, group, "unavailable")
                 metrics["crashes"] += 1
+                if self.replicas > 1:
+                    self._redispatch(sid, group, "unavailable", metrics)
+                else:
+                    self._fail_group(sid, group, "unavailable")
                 continue
-            items = [
-                (
-                    item.request.id,
-                    item.request.op,
-                    item.request.params,
-                    item.request.v,
-                )
-                for item in group
-            ]
-            self._seq += 1
-            # The shard_exit site is checked here, in the parent, so
-            # its visit/fire counters survive shard respawns (a
-            # re-pickled child plane would reset them and re-kill every
-            # fresh shard).  One visit per shard-batch send.
-            die = (
-                self._faults is not None
-                and self._faults.check("shard_exit") is not None
+            seq = self._send_batch(
+                sid, shard, group,
+                die_site="shard_exit", stall_site="shard_stall",
             )
-            try:
-                shard.conn.send(("batch", self._seq, items, die))
-            except (OSError, ValueError):
-                self._on_crash(sid, group, "died before batch send")
-                metrics["crashes"] += 1
+            if seq is None:
+                self._group_crash(sid, group, "died before batch send",
+                                  metrics)
                 continue
-            inflight.append((sid, self._seq, group))
+            inflight.append((sid, seq, group))
         # Every shard is now computing concurrently; collect in order.
         for sid, seq, group in inflight:
-            shard = self._shards[sid]
-            message = self._recv(shard)
-            if (
-                message is None
-                or message[0] != "batch"
-                or message[1] != seq
-                or len(message[2]) != len(group)
-            ):
-                self._on_crash(sid, group, "crashed mid-batch")
-                metrics["crashes"] += 1
-                continue
-            for item, (reply, ok) in zip(group, message[2]):
+            self._collect_group(sid, seq, group, metrics)
+        return metrics
+
+    def _send_batch(
+        self,
+        sid: int,
+        shard: _Shard,
+        group: List[PendingRequest],
+        *,
+        die_site: Optional[str] = None,
+        stall_site: Optional[str] = None,
+    ) -> Optional[int]:
+        """Send one group to one shard; None means the pipe is dead.
+
+        Fault sites are checked here, in the parent, so their
+        visit/fire counters survive shard respawns (a re-pickled child
+        plane would reset them and re-kill every fresh shard).  One
+        visit per shard-batch send: ``shard_exit`` / ``shard_stall``
+        on primary sends, ``replica_crash`` on failover re-dispatch;
+        hedge duplicates visit no site (they are copies, not new
+        admissions).
+        """
+        items = [
+            (
+                item.request.id,
+                item.request.op,
+                item.request.params,
+                item.request.v,
+            )
+            for item in group
+        ]
+        self._seq += 1
+        die = False
+        if die_site is not None and self._faults is not None:
+            die = self._faults.check(die_site) is not None
+        stall = 0.0
+        if stall_site is not None and self._faults is not None:
+            rule = self._faults.check(stall_site)
+            if rule is not None:
+                stall = rule.delay
+        try:
+            shard.conn.send(("batch", self._seq, items, die, stall))
+        except (OSError, ValueError):
+            return None
+        shard.inflight_batches += 1
+        shard.inflight_items += len(items)
+        self._sent[(sid, self._seq)] = (len(items), time.monotonic())
+        return self._seq
+
+    def _settle(self, sid: int, message) -> None:
+        """Account one received batch reply against the load signal."""
+        entry = self._sent.pop((sid, message[1]), None)
+        if entry is None:
+            return
+        shard = self._shards[sid]
+        if shard is not None:
+            shard.inflight_batches = max(0, shard.inflight_batches - 1)
+            shard.inflight_items = max(0, shard.inflight_items - entry[0])
+        self._service_times.append(time.monotonic() - entry[1])
+
+    def _recv_matching(
+        self, sid: int, shard: _Shard, kind: str, seq: int, timeout: float
+    ):
+        """Next ``(kind, seq)`` message from one shard, draining strays.
+
+        A shard pipe is FIFO but the pool may owe it several replies
+        (an uncollected earlier group, a hedge that lost): batch
+        replies for other sequences are settled and either stashed for
+        their own collect or dropped if abandoned.  Returns None on
+        timeout or a dead pipe; a mismatched non-batch message is
+        returned for the caller to treat as a protocol violation.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            try:
+                if not shard.conn.poll(remaining):
+                    return None
+                message = shard.conn.recv()
+            except (EOFError, OSError):
+                return None
+            if message[0] != "batch":
+                return message
+            self._settle(sid, message)
+            if kind == "batch" and message[1] == seq:
+                return message
+            key = (sid, message[1])
+            if key in self._abandoned:
+                self._abandoned.discard(key)
+            else:
+                self._stash[key] = message
+            # Keep waiting for the sequence we came for.
+
+    @staticmethod
+    def _fill(
+        group: List[PendingRequest], message, seq: int
+    ) -> Optional[Dict[str, int]]:
+        """Fill undelivered items from a batch reply; None = invalid.
+
+        The ``item.reply is None`` guard is what makes failover and
+        hedging exactly-once: a late duplicate can never overwrite a
+        delivered reply.
+        """
+        if (
+            message is None
+            or message[0] != "batch"
+            or message[1] != seq
+            or len(message[2]) != len(group)
+        ):
+            return None
+        for item, (reply, ok) in zip(group, message[2]):
+            if item.reply is None:
                 item.reply = reply
                 item.ok = ok
+        return message[3]
+
+    def _collect_group(
+        self,
+        sid: int,
+        seq: int,
+        group: List[PendingRequest],
+        metrics: Dict[str, int],
+    ) -> None:
+        stashed = self._stash.pop((sid, seq), None)
+        if stashed is not None:
+            submetrics = self._fill(group, stashed, seq)
+            if submetrics is not None:
+                shard = self._shards[sid]
+                if shard is not None:
+                    shard.batches += 1
+                self._merge(metrics, submetrics)
+                return
+        if (sid, seq) not in self._sent:
+            # The shard was torn down after this send (it crashed as
+            # the failover target of an earlier group): the pipe and
+            # any reply are gone.  The crash was already counted.
+            if self.replicas > 1:
+                self._redispatch(sid, group, "crashed mid-batch", metrics)
+            else:
+                self._fail_group(sid, group, "crashed mid-batch")
+            return
+        shard = self._shards[sid]
+        hedge_delay = self._hedge_delay()
+        if hedge_delay is not None and hedge_delay < self.batch_timeout:
+            message = self._recv_matching(
+                sid, shard, "batch", seq, hedge_delay
+            )
+            if message is None and shard.process.is_alive():
+                self._hedge_group(sid, seq, group, metrics)
+                return
+        else:
+            message = self._recv_matching(
+                sid, shard, "batch", seq, self.batch_timeout
+            )
+        submetrics = self._fill(group, message, seq)
+        if submetrics is None:
+            self._group_crash(sid, group, "crashed mid-batch", metrics)
+            return
+        shard.batches += 1
+        self._merge(metrics, submetrics)
+
+    @staticmethod
+    def _merge(metrics: Dict[str, int], submetrics: Dict[str, int]) -> None:
+        for key in ("demands", "coalesced", "computed"):
+            metrics[key] += submetrics.get(key, 0)
+
+    def _group_crash(
+        self,
+        sid: int,
+        group: List[PendingRequest],
+        why: str,
+        metrics: Dict[str, int],
+    ) -> None:
+        """A shard died (or hung) holding a group: fail over or fail.
+
+        With replicas, undelivered reads re-dispatch to a surviving
+        replica *before* the slow respawn, so the failover reply is
+        not serialized behind a process spawn.  With ``replicas=1``
+        this is exactly the PR 6 path: typed ``internal`` errors.
+        """
+        self.crashes += 1
+        self.last_crash = f"shard {sid} {why}"
+        metrics["crashes"] += 1
+        self._teardown(sid)
+        undelivered = [item for item in group if item.reply is None]
+        if self.replicas > 1:
+            self._redispatch(sid, undelivered, why, metrics)
+        else:
+            self._fail_group(sid, undelivered, why)
+        self._respawn(sid)
+
+    def _redispatch(
+        self,
+        dead_sid: int,
+        items: List[PendingRequest],
+        why: str,
+        metrics: Dict[str, int],
+    ) -> None:
+        """One failover hop: re-dispatch undelivered reads, typed-fail
+        the rest.
+
+        Bounded by construction: a re-dispatched group that fails
+        again goes straight to ``shard_unavailable`` — there is no
+        recursive call, so a request visits at most two shards.
+        """
+        regrouped: Dict[int, List[PendingRequest]] = {}
+        stranded: List[PendingRequest] = []
+        for item in items:
+            target = self._failover_target(item.request, dead_sid)
+            if target is None:
+                stranded.append(item)
+            else:
+                regrouped.setdefault(target, []).append(item)
+        self._fail_unavailable(dead_sid, stranded, why)
+        for tsid in sorted(regrouped):
+            titems = regrouped[tsid]
+            shard = self._shards[tsid]
+            seq = None
+            if shard is not None:
+                seq = self._send_batch(
+                    tsid, shard, titems, die_site="replica_crash"
+                )
+            message = None
+            if seq is not None:
+                message = self._recv_matching(
+                    tsid, shard, "batch", seq, self.batch_timeout
+                )
+            submetrics = self._fill(titems, message, seq)
+            if submetrics is None:
+                self.crashes += 1
+                self.last_crash = f"shard {tsid} crashed during failover"
+                metrics["crashes"] += 1
+                self._teardown(tsid)
+                self._fail_unavailable(
+                    tsid, titems, "lost the failover hop too"
+                )
+                self._respawn(tsid)
+                continue
             shard.batches += 1
-            for key in ("demands", "coalesced", "computed"):
-                metrics[key] += message[3].get(key, 0)
-        return metrics
+            self.failovers += len(titems)
+            metrics["failovers"] += len(titems)
+            self._merge(metrics, submetrics)
+
+    # -- hedged reads ------------------------------------------------------
+
+    def _hedge_delay(self) -> Optional[float]:
+        """Seconds before a read batch is hedged (None = hedging off).
+
+        The configured ``hedge_ms`` is a floor; once the pool has a
+        window of batch service times, the delay rises to the observed
+        p99 so hedges fire on genuine stragglers, not the median.
+        """
+        if self.hedge_ms <= 0 or self.replicas <= 1:
+            return None
+        floor = self.hedge_ms / 1000.0
+        if len(self._service_times) >= 16:
+            window = sorted(self._service_times)
+            p99 = window[min(len(window) - 1, int(0.99 * len(window)))]
+            return max(floor, p99)
+        return floor
+
+    def _hedge_group(
+        self,
+        sid: int,
+        seq: int,
+        group: List[PendingRequest],
+        metrics: Dict[str, int],
+    ) -> None:
+        """The primary is slow (alive, past the hedge delay): duplicate
+        its replicable items to a second replica and take the first
+        reply per item; the loser's late reply is abandoned.
+        """
+        regrouped: Dict[int, List[PendingRequest]] = {}
+        for item in group:
+            if item.reply is not None:
+                continue
+            target = self._failover_target(item.request, sid)
+            if target is not None:
+                regrouped.setdefault(target, []).append(item)
+        entries: Dict[int, Tuple[int, List[PendingRequest]]] = {sid: (seq, group)}
+        hedged_ids: Set[int] = set()
+        for tsid in sorted(regrouped):
+            shard = self._shards[tsid]
+            hseq = self._send_batch(tsid, shard, regrouped[tsid])
+            if hseq is None:
+                continue
+            entries[tsid] = (hseq, regrouped[tsid])
+            self.hedges += len(regrouped[tsid])
+            metrics["hedges"] += len(regrouped[tsid])
+            hedged_ids.update(id(item) for item in regrouped[tsid])
+        deadline = time.monotonic() + self.batch_timeout
+        winner_seen = False
+        dead: List[int] = []
+        while entries and any(item.reply is None for item in group):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            conns = {
+                self._shards[e_sid].conn: e_sid
+                for e_sid in entries
+                if self._shards[e_sid] is not None
+            }
+            if not conns:
+                break
+            ready = _wait_conns(list(conns), timeout=remaining)
+            if not ready:
+                break
+            for conn in ready:
+                e_sid = conns[conn]
+                e_seq, e_items = entries[e_sid]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    del entries[e_sid]
+                    dead.append(e_sid)
+                    continue
+                if message[0] != "batch":
+                    del entries[e_sid]
+                    dead.append(e_sid)
+                    continue
+                self._settle(e_sid, message)
+                if message[1] != e_seq:
+                    key = (e_sid, message[1])
+                    if key in self._abandoned:
+                        self._abandoned.discard(key)
+                    else:
+                        self._stash[key] = message
+                    continue
+                if len(message[2]) != len(e_items):
+                    del entries[e_sid]
+                    dead.append(e_sid)
+                    continue
+                filled = False
+                for item, (reply, ok) in zip(e_items, message[2]):
+                    if item.reply is None:
+                        item.reply = reply
+                        item.ok = ok
+                        filled = True
+                self._shards[e_sid].batches += 1
+                if filled and not winner_seen:
+                    winner_seen = True
+                    if e_sid != sid:
+                        self.hedge_wins += 1
+                        metrics["hedge_wins"] += 1
+                    self._merge(metrics, message[3])
+                del entries[e_sid]
+        # Replies still owed by live shards will drain later as stale.
+        for e_sid, (e_seq, _e_items) in entries.items():
+            self._abandoned.add((e_sid, e_seq))
+        for e_sid in dead:
+            self.crashes += 1
+            self.last_crash = f"shard {e_sid} crashed during hedged read"
+            metrics["crashes"] += 1
+            self._teardown(e_sid)
+            self._respawn(e_sid)
+        leftover = [item for item in group if item.reply is None]
+        if not leftover:
+            return
+        # Items that were hedged have used their one extra hop; items
+        # that could not be hedged (no live alternate at hedge time)
+        # still get their single failover attempt.
+        spent = [item for item in leftover if id(item) in hedged_ids]
+        fresh = [item for item in leftover if id(item) not in hedged_ids]
+        self._fail_unavailable(sid, spent, "lost both replicas")
+        if fresh:
+            self._redispatch(sid, fresh, "crashed mid-batch", metrics)
+
+    # -- shard supervision -------------------------------------------------
 
     def _ensure_shard(self, sid: int) -> Optional[_Shard]:
         shard = self._shards[sid]
@@ -455,8 +1047,7 @@ class ShardPool:
             return shard
         # A previous respawn failed (or the shard died idle): retry now.
         if shard is not None:
-            self._kill(shard)
-            self._shards[sid] = None
+            self._teardown(sid)
         return self._respawn(sid)
 
     def _respawn(self, sid: int) -> Optional[_Shard]:
@@ -470,31 +1061,10 @@ class ShardPool:
         self.restarts += 1
         return shard
 
-    def _recv(self, shard: _Shard):
-        try:
-            if not shard.conn.poll(self.batch_timeout):
-                return None  # hung shard: the watchdog gives up on it
-            return shard.conn.recv()
-        except (EOFError, OSError):
-            return None
-
-    def _on_crash(
+    def _fail_group(
         self, sid: int, group: List[PendingRequest], why: str
     ) -> None:
-        """Fail a dead shard's in-flight items and respawn it."""
-        self.crashes += 1
-        self.last_crash = f"shard {sid} {why}"
-        self._fail_group(sid, group, why)
-        shard = self._shards[sid]
-        if shard is not None:
-            self._kill(shard)
-            self._shards[sid] = None
-        self._respawn(sid)
-
-    @staticmethod
-    def _fail_group(
-        sid: int, group: List[PendingRequest], why: str
-    ) -> None:
+        """PR 6 fail-fast: typed ``internal`` errors (replicas=1)."""
         for item in group:
             if item.reply is None:
                 item.reply = encode_error(
@@ -503,6 +1073,20 @@ class ShardPool:
                     f"shard {sid} {why}; request aborted",
                 )
                 item.ok = False
+
+    def _fail_unavailable(
+        self, sid: int, group: List[PendingRequest], why: str
+    ) -> None:
+        """Typed, retry-safe refusal: the key's replica set is down."""
+        for item in group:
+            if item.reply is None:
+                item.reply = encode_error(
+                    item.request.id,
+                    "shard_unavailable",
+                    f"shard {sid} {why}; replicas exhausted, safe to retry",
+                )
+                item.ok = False
+                self.unavailable += 1
 
     # -- the write barrier -------------------------------------------------
 
@@ -515,7 +1099,10 @@ class ShardPool:
         transactional swap, between batches.  Each shard rebinds and
         acks with its post-swap risk fingerprint; a shard whose ack is
         missing or mismatched is killed and respawned warm on the new
-        field.  Returns the number of shards lost this way.
+        field.  Stale batch replies (a hedge that lost just before the
+        write) are drained by the matching recv, so the barrier can
+        never confuse a late read reply for a swap ack.  Returns the
+        number of shards lost this way.
         """
         assert self._spec is not None
         self._spec = replace(
@@ -532,10 +1119,12 @@ class ShardPool:
             try:
                 shard.conn.send(("swap", self._seq, dict(forecast)))
             except (OSError, ValueError):
-                self._on_crash(sid, [], "died before swap broadcast")
+                self._swap_crash(sid, "died before swap broadcast")
                 crashes += 1
                 continue
-            message = self._recv(shard)
+            message = self._recv_matching(
+                sid, shard, "swap", self._seq, self.batch_timeout
+            )
             if (
                 message is None
                 or message[0] != "swap"
@@ -543,13 +1132,17 @@ class ShardPool:
                 or message[2] != fingerprint
             ):
                 got = message[2] if message is not None else "no ack"
-                self._on_crash(
-                    sid, [], f"failed the swap barrier ({got!r})"
-                )
+                self._swap_crash(sid, f"failed the swap barrier ({got!r})")
                 crashes += 1
                 continue
             shard.swaps += 1
         return crashes
+
+    def _swap_crash(self, sid: int, why: str) -> None:
+        self.crashes += 1
+        self.last_crash = f"shard {sid} {why}"
+        self._teardown(sid)
+        self._respawn(sid)
 
     # -- observability -----------------------------------------------------
 
@@ -566,8 +1159,14 @@ class ShardPool:
         return {
             "count": self.nshards,
             "alive": self.alive(),
+            "replicas": self.replicas,
+            "hedge_ms": self.hedge_ms,
             "crashes": self.crashes,
             "restarts": self.restarts,
+            "failovers": self.failovers,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "unavailable": self.unavailable,
             "fingerprint": self.fingerprint,
             "per_shard": [
                 None
@@ -576,6 +1175,7 @@ class ShardPool:
                     "pid": shard.pid,
                     "batches": shard.batches,
                     "swaps": shard.swaps,
+                    "load": shard.load,
                 }
                 for shard in self._shards
             ],

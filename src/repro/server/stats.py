@@ -45,6 +45,9 @@ class ServerStats:
         self.forecast_swaps = 0    # update_forecast calls that invalidated
         self.worker_crashes = 0    # worker task died (batch aborted)
         self.worker_restarts = 0   # supervisor restarts after a crash
+        self.read_failovers = 0    # reads answered by a surviving replica
+        self.hedged_reads = 0      # reads duplicated to a second replica
+        self.hedge_wins = 0        # hedged batches the duplicate answered first
         self.queue_high_water = 0  # max pending depth observed
         self._latency_window = latency_window
         self._latencies: Deque[float] = deque(maxlen=latency_window)
@@ -95,6 +98,9 @@ class ServerStats:
             "forecast_swaps": self.forecast_swaps,
             "worker_crashes": self.worker_crashes,
             "worker_restarts": self.worker_restarts,
+            "read_failovers": self.read_failovers,
+            "hedged_reads": self.hedged_reads,
+            "hedge_wins": self.hedge_wins,
             "queue_depth": queue_depth,
             "queue_high_water": self.queue_high_water,
             "p50_ms": _percentile(window, 0.50) * 1e3,

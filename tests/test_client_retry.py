@@ -199,6 +199,24 @@ class TestRetrySemantics:
             with _client(server, retry=_policy()) as client:
                 assert client.route("a", "b") == {"served": 2}
 
+    def test_shard_unavailable_is_retried_under_policy(self):
+        # A replicated pool emits shard_unavailable only when every
+        # replica of a *read* died inside one batch window; the shards
+        # are respawned before the reply goes out, so the retry is
+        # always safe — and in the default retry_codes.
+        assert "shard_unavailable" in RetryPolicy().retry_codes
+        with ScriptedServer(["shard_unavailable", "ok"]) as server:
+            with _client(server, retry=_policy()) as client:
+                assert client.route("a", "b") == {"served": 2}
+            assert len(server.requests) == 2
+
+    def test_shard_unavailable_raises_without_policy(self):
+        with ScriptedServer(["shard_unavailable"]) as server:
+            with _client(server) as client:
+                with pytest.raises(ServerError) as err:
+                    client.route("a", "b")
+                assert err.value.code == "shard_unavailable"
+
     def test_non_transient_error_is_never_retried(self):
         with ScriptedServer(["unknown_node", "ok"]) as server:
             with _client(server, retry=_policy()) as client:

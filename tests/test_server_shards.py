@@ -179,6 +179,9 @@ class TestShardedParity:
         assert shards["count"] == 2
         assert shards["alive"] == 2
         assert shards["crashes"] == 0
+        assert shards["replicas"] == 1
+        assert shards["failovers"] == 0
+        assert shards["hedges"] == 0
         # Per-pair affinity end to end: every batch of the repeated
         # pair landed on one shard; the other stayed cold.
         batches = sorted(
@@ -187,7 +190,7 @@ class TestShardedParity:
         assert batches[0] == 0
         assert batches[-1] >= 5
         assert health["status"] == "ok"
-        assert health["shards"] == {"count": 2, "alive": 2}
+        assert health["shards"] == {"count": 2, "alive": 2, "replicas": 1}
 
 
 @pytest.mark.timeout(180)

@@ -10,6 +10,7 @@ Subcommands::
     riskroute ratios Level3 [--strategy per-source] [--workers 4]
     riskroute scenario Level3 --scenarios 500 [--no-defense]
     riskroute serve Level3 --port 4174 [--shards 4]
+    riskroute ingest events.json --port 4174 [--now-year 2012]
     riskroute query --port 4174 route "Level3:Houston, TX" "Level3:Boston, MA"
 
 The ``riskroute query`` subcommands are generated from the server's op
@@ -222,6 +223,28 @@ def build_parser() -> argparse.ArgumentParser:
         "read batch is duplicated to a second replica after max(this, "
         "observed p99) and the first reply wins (default: 0 = off; "
         "needs --replicas >= 2)",
+    )
+
+    ingest_p = sub.add_parser(
+        "ingest",
+        help="stream disaster events into a running daemon's risk field",
+    )
+    ingest_p.add_argument(
+        "events",
+        metavar="events_file",
+        help="JSON file of [{event_type, lat, lon, year}] records "
+        "('-' reads stdin)",
+    )
+    ingest_p.add_argument("--host", default="127.0.0.1")
+    ingest_p.add_argument("--port", type=int, default=4174)
+    ingest_p.add_argument("--timeout", type=float, default=30.0)
+    ingest_p.add_argument(
+        "--now-year", type=int, default=None, dest="now_year",
+        help="reference year advancing the rolling window edge",
+    )
+    ingest_p.add_argument(
+        "--token", default=None,
+        help="idempotency token (a retried ingest applies at most once)",
     )
 
     query_p = sub.add_parser("query", help="query a running daemon")
@@ -575,6 +598,39 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_ingest(args) -> int:
+    from .server import RiskRouteClient, ServerError
+    from .server.ops import _load_events_file
+
+    try:
+        events = _load_events_file(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.events}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        client = RiskRouteClient(args.host, args.port, timeout=args.timeout)
+    except OSError as exc:
+        print(f"cannot connect to {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        with client:
+            result = client.ingest(
+                events, now_year=args.now_year, token=args.token
+            )
+            print(json.dumps(result, indent=2, sort_keys=True))
+    except ServerError as exc:
+        print(f"server error [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as exc:
+        print(
+            f"connection to {args.host}:{args.port} failed: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_query(args) -> int:
     import socket
 
@@ -661,6 +717,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scenario(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "ingest":
+        return _cmd_ingest(args)
     if args.command == "query":
         return _cmd_query(args)
     raise AssertionError(f"unhandled command {args.command!r}")

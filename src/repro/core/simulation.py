@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 import numpy as np
 
 from ..disasters.catalog import catalog_of
-from ..disasters.events import EventType
+from ..disasters.events import DisasterEvent, EventType
 from ..geo.coords import GeoPoint
 from ..geo.distance import distances_to_latlon_array
 from ..graph.shortest_path import NoPathError
@@ -50,11 +50,34 @@ DAMAGE_RADIUS_MILES: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class SimulatedDisaster:
-    """One sampled disaster occurrence."""
+    """One sampled disaster occurrence.
+
+    ``year`` and ``identity`` carry the provenance of the historical
+    record the occurrence was resampled from (``identity`` is the
+    source :attr:`~repro.disasters.events.DisasterEvent.identity`), so
+    sampled disasters can be round-tripped into streaming ingest and
+    retired deterministically by a window slide.  Both default to
+    "unknown" for hand-built disasters.
+    """
 
     event_type: str
     center: GeoPoint
     radius_miles: float
+    year: int = 0
+    identity: str = ""
+
+    def as_event(self, year: Optional[int] = None) -> "DisasterEvent":
+        """The occurrence as an ingestible :class:`DisasterEvent`.
+
+        Raises:
+            ValueError: when no plausible year is known (hand-built
+                disasters must pass one).
+        """
+        return DisasterEvent(
+            event_type=self.event_type,
+            location=self.center,
+            year=self.year if year is None else int(year),
+        )
 
 
 @dataclass(frozen=True)
@@ -102,20 +125,24 @@ def sample_disasters(
         rng = seed
     else:
         rng = np.random.default_rng(seed)
-    catalogs = {c: catalog_of(c).locations() for c in classes}
+    catalogs = {c: catalog_of(c).events() for c in classes}
     weights = np.array([len(catalogs[c]) for c in classes], dtype=np.float64)
     weights /= weights.sum()
     picks = rng.choice(len(classes), size=count, p=weights)
     out: List[SimulatedDisaster] = []
     for class_index in picks:
         event_type = classes[int(class_index)]
-        locations = catalogs[event_type]
-        center = locations[int(rng.integers(len(locations)))]
+        events = catalogs[event_type]
+        # Same rng draw sequence as the historical locations-only
+        # sampler: one integers(len) call per pick.
+        event = events[int(rng.integers(len(events)))]
         out.append(
             SimulatedDisaster(
                 event_type=event_type,
-                center=center,
+                center=event.location,
                 radius_miles=DAMAGE_RADIUS_MILES[event_type],
+                year=event.year,
+                identity=event.identity,
             )
         )
     return out

@@ -9,6 +9,7 @@ records with the filtering the risk pipeline needs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Tuple
 
@@ -60,6 +61,28 @@ class DisasterEvent:
         if not 1900 <= self.year <= 2100:
             raise ValueError(f"implausible event year {self.year}")
 
+    @property
+    def identity(self) -> str:
+        """Stable content identity: class, year, and exact location.
+
+        Two records are the same event iff they agree on all three —
+        coordinates are hashed via ``float.hex`` so no decimal rounding
+        can merge distinct locations.  This is what makes streaming
+        dedup and retire-by-window deterministic: ingesting the same
+        record twice is a no-op, and a window slide retires exactly the
+        records appended for those years.
+        """
+        h = hashlib.blake2b(digest_size=12)
+        for part in (
+            self.event_type,
+            str(self.year),
+            float(self.location.lat).hex(),
+            float(self.location.lon).hex(),
+        ):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
 
 class DisasterCatalog:
     """An immutable, typed collection of disaster events."""
@@ -80,6 +103,22 @@ class DisasterCatalog:
     def locations(self) -> List[GeoPoint]:
         """Event locations in catalog order."""
         return [event.location for event in self._events]
+
+    def identities(self) -> List[str]:
+        """Stable per-event identities in catalog order."""
+        return [event.identity for event in self._events]
+
+    def deduplicated(self) -> "DisasterCatalog":
+        """First occurrence of each identity, catalog order preserved."""
+        seen = set()
+        unique: List[DisasterEvent] = []
+        for event in self._events:
+            identity = event.identity
+            if identity in seen:
+                continue
+            seen.add(identity)
+            unique.append(event)
+        return DisasterCatalog(unique)
 
     def event_types(self) -> List[str]:
         """Distinct event types present, sorted."""

@@ -12,17 +12,22 @@ Two memoization layers sit behind the engine:
   identical all-pairs evaluation is a dictionary lookup.
 
 Both layers are risk-scoped: when the risk field changes (a new forecast
-advisory hour, different gammas) the engine calls
-:meth:`SweepCache.invalidate_risk`, which drops every risk-weighted
+advisory hour, different gammas, a streaming event ingest) the engine
+calls :meth:`SweepCache.invalidate_risk`, which drops every risk-weighted
 sweep but keeps the ``alpha == 0`` geographic sweeps — those depend only
-on the topology and stay valid across advisory updates.  Result caches
-are cleared wholesale on any risk change.
+on the topology and stay valid across advisory updates.  For a
+*localized* change the engine additionally passes the sources whose
+connected component the change does not touch (``keep_sources``) — a
+sweep can only ever observe its source's component, so those entries
+stay exact; per-source result aggregates survive the same way through
+:meth:`ResultCache.retain`, while multi-source aggregates are dropped on
+any risk change.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import AbstractSet, Callable, Hashable, Optional, Tuple
 
 from .sweep import SweepResult
 
@@ -103,8 +108,16 @@ class SweepCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
-    def invalidate_risk(self) -> int:
+    def invalidate_risk(
+        self, keep_sources: Optional[AbstractSet[int]] = None
+    ) -> int:
         """Drop risk-weighted sweeps; keep ``alpha == 0`` geographic ones.
+
+        ``keep_sources`` is an optional set of source indices whose
+        risk-weighted sweeps also survive — the engine passes the
+        sources whose connected component the new risk field does not
+        touch (a sweep can only ever see its source's component, so
+        those results are still exact).
 
         Returns the number of entries dropped.
         """
@@ -112,6 +125,7 @@ class SweepCache:
             key: value
             for key, value in self._entries.items()
             if key[0] == 0.0
+            or (keep_sources is not None and key[1] in keep_sources)
         }
         dropped = len(self._entries) - len(keep)
         self._entries = OrderedDict(keep)
@@ -154,6 +168,23 @@ class ResultCache:
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def retain(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Keep entries whose key satisfies ``predicate``; drop the rest.
+
+        The delta-invalidation hook: on a localized risk change the
+        engine keeps per-source aggregates whose source component the
+        change cannot reach.  Returns the number of entries dropped.
+        """
+        keep = OrderedDict(
+            (key, value)
+            for key, value in self._entries.items()
+            if predicate(key)
+        )
+        dropped = len(self._entries) - len(keep)
+        self._entries = keep
+        self.stats.invalidations += dropped
+        return dropped
 
     def clear(self) -> None:
         """Drop everything (any risk change invalidates aggregates)."""

@@ -89,6 +89,7 @@ class RoutingEngine:
         self._landmarks = None
         self._targeted_queries = 0
         self._targeted_settled = 0
+        self._components: Optional[np.ndarray] = None
         self._bind_model(model)
 
     @classmethod
@@ -128,6 +129,7 @@ class RoutingEngine:
         self._landmarks = None
         self._targeted_queries = 0
         self._targeted_settled = 0
+        self._components = None
         if risk_state is None:
             self._bind_model(model)
             return self
@@ -167,10 +169,15 @@ class RoutingEngine:
 
         A model with an unchanged risk field (same per-node entry risk
         and shares — e.g. a fresh but equivalent ``RiskModel`` object)
-        keeps every cache warm.  A changed field — typically a new
-        forecast advisory hour — drops all risk-weighted sweeps and all
-        cached aggregates, keeping only the geographic ``alpha == 0``
-        sweeps, which risk cannot affect.
+        keeps every cache warm.  A changed field drops cached results
+        by *delta invalidation*: a per-source sweep (or per-source
+        aggregate) can only observe risk inside its source's connected
+        component, so entries whose component contains no changed node
+        survive the swap — a localized change (a streaming event ingest
+        touching one region) keeps memoized work for every untouched
+        island, on top of the geographic ``alpha == 0`` sweeps, which
+        risk can never affect.  Multi-source aggregates (ratio and
+        lower-bound totals) are dropped on any risk change.
 
         Returns True when caches were invalidated.
         """
@@ -180,10 +187,67 @@ class RoutingEngine:
         if new_fingerprint == self.risk_fingerprint:
             self.model = model
             return False
+        old_risk = self._risk
+        old_shares = self._shares
         self._bind_model(model)
-        self._sweeps.invalidate_risk()
-        self._results.clear()
+        clean = self._clean_sources(old_risk, old_shares)
+        self._sweeps.invalidate_risk(keep_sources=clean or None)
+        if clean:
+            self._results.retain(
+                lambda key: key[0] in ("components", "targeted")
+                and key[1] in clean
+            )
+        else:
+            self._results.clear()
         return True
+
+    def _clean_sources(
+        self, old_risk: Sequence[float], old_shares: Sequence[float]
+    ) -> Set[int]:
+        """Source indices the risk change cannot affect.
+
+        A node is *dirty* when its entry risk or share moved; a source
+        is clean when its connected component holds no dirty node (the
+        sweep frontier never leaves the component).  Share changes also
+        shift alpha values, but alpha is part of every cache key, so
+        stale-alpha entries are merely unused, never wrong.
+        """
+        components = self._component_ids()
+        dirty_components = {
+            components[i]
+            for i in range(self._csr.node_count)
+            if self._risk[i] != old_risk[i]
+            or self._shares[i] != old_shares[i]
+        }
+        return {
+            i
+            for i in range(self._csr.node_count)
+            if components[i] not in dirty_components
+        }
+
+    def _component_ids(self) -> "np.ndarray":
+        """Connected-component id per CSR node (lazy; topology is frozen)."""
+        if self._components is None:
+            n = self._csr.node_count
+            labels = np.full(n, -1, dtype=np.int64)
+            indptr = self._csr.indptr
+            indices = self._csr.indices
+            label = 0
+            for start in range(n):
+                if labels[start] >= 0:
+                    continue
+                stack = [start]
+                labels[start] = label
+                while stack:
+                    u = stack.pop()
+                    for e in range(indptr[u], indptr[u + 1]):
+                        v = int(indices[e])
+                        if labels[v] < 0:
+                            labels[v] = label
+                            stack.append(v)
+                label += 1
+            self._components = labels
+        return self._components
 
     def configure(self, config: EngineConfig) -> None:
         """Replace pool/bucketing tuning; caches stay valid (keys are

@@ -142,6 +142,21 @@ class RiskModel:
             self._shares, self._oh, forecast_risk, self.gamma_h, self.gamma_f
         )
 
+    def with_historical_risk(
+        self, historical_risk: Mapping[str, float]
+    ) -> "RiskModel":
+        """Same shares and forecast, new per-PoP historical risk.
+
+        The streaming-ingest counterpart of :meth:`with_forecast_risk`:
+        an ingest recomputes ``o_h`` incrementally and swaps it in here.
+
+        Raises:
+            ValueError: if the new map does not cover the same PoPs.
+        """
+        return RiskModel(
+            self._shares, historical_risk, self._of, self.gamma_h, self.gamma_f
+        )
+
     # -- per-PoP state --------------------------------------------------------
 
     def pop_ids(self) -> Sequence[str]:

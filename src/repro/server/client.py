@@ -22,10 +22,10 @@ instead of reading a desynchronized stream.  With a
 
 Retries respect exponential backoff with jitter and a total time
 budget, and only ever re-send what is safe: the registry's retry-safe
-ops (reads and controls — see :data:`RETRY_SAFE_OPS`) always;
-``update_forecast`` only when guarded by an idempotency token (one is
-generated automatically under a retry policy), which the server uses
-to apply a retried swap at most once.
+ops (reads and controls — see :data:`RETRY_SAFE_OPS`) always; the
+write ops (``update_forecast`` / ``ingest``) only when guarded by an
+idempotency token (one is generated automatically under a retry
+policy), which the server uses to apply a retried write at most once.
 
 The per-op methods (``route``/``pair``/``ratios``/``stats``/...) are
 **generated from the op registry** (:mod:`repro.server.ops`): each
@@ -33,8 +33,8 @@ registered op becomes a typed wrapper over :meth:`RiskRouteClient.call`
 with a real signature (required params positional-or-keyword, optional
 params defaulted) and a docstring derived from the spec.  Hand-rolled
 methods survive only where behavior goes beyond the wire contract —
-``update_forecast`` (auto-tokening) and ``provision`` (the deprecated
-``exact=`` flag, kept as a warning shim).
+``update_forecast`` / ``ingest`` (auto-tokening) and ``provision``
+(the deprecated ``exact=`` flag, kept as a warning shim).
 
 Requests carry the protocol version (``v``); a reply stamped with a
 *newer* envelope version than this client speaks raises a typed
@@ -60,7 +60,8 @@ __all__ = ["RiskRouteClient", "RetryPolicy", "ServerError"]
 
 #: Ops that are safe to blindly re-send after a connection drop —
 #: derived from the registry (``read`` and ``control`` ops; writes are
-#: excluded).  ``update_forecast`` joins them only when token-guarded.
+#: excluded).  ``update_forecast`` and ``ingest`` join them only when
+#: token-guarded.
 RETRY_SAFE_OPS = frozenset(ops.retry_safe_op_names())
 
 
@@ -211,7 +212,7 @@ class RiskRouteClient:
         wire_params = {k: v for k, v in params.items() if v is not None}
         policy = self._retry
         retry_safe = op in RETRY_SAFE_OPS or (
-            op == "update_forecast" and "token" in wire_params
+            op in ("update_forecast", "ingest") and "token" in wire_params
         )
         deadline = (
             time.monotonic() + policy.budget if policy is not None else None
@@ -349,6 +350,27 @@ class RiskRouteClient:
             token = f"auto-{self._rng.getrandbits(64):016x}"
         return self.call(
             "update_forecast", risk=dict(risk), default=default, token=token
+        )
+
+    def ingest(
+        self,
+        events,
+        now_year: Optional[int] = None,
+        token: Optional[str] = None,
+    ) -> dict:
+        """Stream disaster events into the historical field (``o_h``).
+
+        ``events`` is an iterable of ``{event_type, lat, lon, year}``
+        records; the server folds them into its incremental KDE and
+        re-evaluates only the touched risk cells.  ``token`` is the
+        same idempotency key as :meth:`update_forecast` — applied at
+        most once, auto-generated under a retry policy so a retried
+        ingest cannot double-append.
+        """
+        if token is None and self._retry is not None:
+            token = f"auto-{self._rng.getrandbits(64):016x}"
+        return self.call(
+            "ingest", events=list(events), now_year=now_year, token=token
         )
 
 

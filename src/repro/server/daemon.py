@@ -17,8 +17,11 @@ Architecture (all stdlib)::
 * **The worker** is the only consumer: it pulls contiguous batches,
   expires requests past their deadline (``timeout``), runs query
   batches on the one-thread executor (so engine state is touched by
-  exactly one thread), and applies ``update_forecast`` barriers between
-  batches — no reply can mix pre- and post-advisory risk.
+  exactly one thread), and applies write barriers (``update_forecast``
+  forecast swaps and ``ingest`` streaming-event folds) between batches
+  — no reply can mix pre- and post-write risk.  Applied writes that
+  move the fingerprint feed a bounded changelog served by the
+  ``subscribe`` poll op.
 * **The supervisor** watches the worker: if it crashes (a service bug,
   or an injected ``worker_exception`` fault), every request of the
   batch in flight is failed with a typed ``internal`` error — never a
@@ -44,10 +47,12 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import Deque, List, Optional, Set, Tuple
 
+from . import ops
 from .coalesce import CoalescingQueue, PendingRequest
 from .faults import FaultPlane, FaultRule, InjectedFault
 from .protocol import (
@@ -61,7 +66,17 @@ from .service import QueryService, field_cache_stats
 from .shards import ShardConfig, ShardPool
 from .stats import ServerStats
 
-__all__ = ["ServerConfig", "RiskRouteServer", "ServerThread"]
+__all__ = [
+    "ServerConfig",
+    "RiskRouteServer",
+    "ServerThread",
+    "CHANGELOG_SIZE",
+]
+
+#: Fingerprint-change entries the daemon remembers for ``subscribe``
+#: polls; a subscriber further behind than this sees ``truncated`` and
+#: should resync from the current fingerprint.
+CHANGELOG_SIZE = 256
 
 
 @dataclass(frozen=True)
@@ -170,6 +185,10 @@ class RiskRouteServer:
         self._writers: Set[asyncio.StreamWriter] = set()
         self._started_at = 0.0
         self.address: Optional[Tuple[str, int]] = None
+        # Monotonic risk-change feed for ``subscribe``: every applied
+        # write that moved the fingerprint appends one entry.
+        self._change_version = 0
+        self._changelog: Deque[dict] = deque(maxlen=CHANGELOG_SIZE)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -448,6 +467,32 @@ class RiskRouteServer:
                         outcome.fingerprint,
                     )
                     healed = self._sync_shard_health()
+                self._record_change(op, outcome)
+                self._deliver(loop, item)
+            elif op == "ingest":
+                item = live[0]
+                outcome = await loop.run_in_executor(
+                    self._executor, self.service.apply_ingest, item
+                )
+                if outcome.changed:
+                    self.stats.ingests += 1
+                if self._shards is not None and outcome.applied:
+                    # Same barrier as a forecast swap, for the
+                    # historical field: each shard rebinds its o_h and
+                    # acks the parent's post-ingest fingerprint before
+                    # any further batch is served.
+                    await loop.run_in_executor(
+                        self._executor,
+                        self._shards.broadcast_ingest,
+                        outcome.field,
+                        outcome.fingerprint,
+                    )
+                    healed = self._sync_shard_health()
+                self._record_change(op, outcome)
+                self._deliver(loop, item)
+            elif op == "subscribe":
+                item = live[0]
+                self._handle_subscribe(item)
                 self._deliver(loop, item)
             else:
                 if self._shards is not None:
@@ -471,6 +516,64 @@ class RiskRouteServer:
                 # A batch completed end to end (every shard answered
                 # cleanly, if sharded): the daemon has healed.
                 self._degraded_reason = None
+
+    def _record_change(self, op: str, outcome) -> None:
+        """Append one changelog entry for an applied, changing write.
+
+        No-op swaps (identical field) and token-ledger duplicates do
+        not move the fingerprint, so subscribers never see them.
+        """
+        if not (outcome.applied and outcome.changed):
+            return
+        self._change_version += 1
+        self._changelog.append(
+            {
+                "version": self._change_version,
+                "op": op,
+                "fingerprint": outcome.fingerprint,
+            }
+        )
+
+    def _handle_subscribe(self, item: PendingRequest) -> None:
+        """Answer one ``subscribe`` poll from the bounded changelog.
+
+        Runs on the loop thread while the executor is idle (subscribe
+        is a barrier op, like ``stats``), so the engine fingerprint
+        read here is consistent with the queue position: every change
+        from a write admitted before this request is already in the
+        log.
+        """
+        request = item.request
+        try:
+            params = ops.validate_params(
+                ops.get_spec("subscribe"), request.params
+            )
+        except ProtocolError as exc:
+            item.reply = encode_error(request.id, exc.code, exc.message)
+            item.ok = False
+            return
+        since = params["since"]
+        changes = [
+            entry for entry in self._changelog if entry["version"] > since
+        ]
+        oldest_remembered = (
+            self._changelog[0]["version"]
+            if self._changelog
+            else self._change_version + 1
+        )
+        item.reply = encode_reply(
+            request.id,
+            {
+                "version": self._change_version,
+                "changes": changes,
+                # True when entries between `since` and the oldest
+                # remembered one have been evicted: the subscriber
+                # should resync from the current fingerprint.
+                "truncated": since + 1 < oldest_remembered,
+                "fingerprint": self.session.engine.risk_fingerprint,
+            },
+        )
+        item.ok = True
 
     def _sync_shard_health(self) -> bool:
         """Fold the pool's crash/restart deltas into server stats.

@@ -30,7 +30,8 @@ Classification semantics (:attr:`OpSpec.kind`):
     worker, routable to any/the affine shard, idempotent, always safe
     to retry.
 ``write``
-    Mutates served state (forecast swaps).  A queue barrier: runs alone
+    Mutates served state (forecast swaps, event ingests).  A queue
+    barrier: runs alone
     between batches, is applied by the parent process (never a shard),
     and is retry-safe only under an idempotency token.
 ``control``
@@ -181,6 +182,46 @@ def _check_risk_map(name: str, value: Any) -> Dict[str, Any]:
             f"param {name!r} must be an object of {{pop_id: forecast_risk}}",
         )
     return value
+
+
+#: The wire shape of one streamed disaster record (``ingest``).
+_EVENT_FIELDS = ("event_type", "lat", "lon", "year")
+
+
+def _check_event_list(name: str, value: Any) -> List[Dict[str, Any]]:
+    """A non-empty list of {event_type, lat, lon, year} records.
+
+    Field semantics (class names, coordinate ranges, plausible years)
+    are enforced where :class:`~repro.disasters.events.DisasterEvent`
+    is constructed; this check pins the wire shape only.
+    """
+    if not isinstance(value, (list, tuple)) or not value:
+        raise ProtocolError(
+            "bad_request",
+            f"param {name!r} must be a non-empty list of event records",
+        )
+    records: List[Dict[str, Any]] = []
+    for index, entry in enumerate(value):
+        if not isinstance(entry, dict):
+            raise ProtocolError(
+                "bad_request",
+                f"param {name!r}[{index}] must be an object, got {entry!r}",
+            )
+        unknown = sorted(set(entry) - set(_EVENT_FIELDS))
+        missing = sorted(set(_EVENT_FIELDS) - set(entry))
+        if unknown or missing:
+            raise ProtocolError(
+                "bad_request",
+                f"param {name!r}[{index}] must have exactly the fields "
+                f"{list(_EVENT_FIELDS)} (missing {missing}, "
+                f"unknown {unknown})",
+            )
+        _check_str(f"{name}[{index}].event_type", entry["event_type"])
+        _check_number(f"{name}[{index}].lat", entry["lat"])
+        _check_number(f"{name}[{index}].lon", entry["lon"])
+        _check_int(f"{name}[{index}].year", entry["year"])
+        records.append(dict(entry))
+    return records
 
 
 # -- the table entries -------------------------------------------------------
@@ -452,6 +493,14 @@ def _load_risk_file(path: str) -> Dict[str, Any]:
         return json.load(handle)
 
 
+def _load_events_file(path: str) -> List[Dict[str, Any]]:
+    """CLI loader for ``ingest``: JSON event list, file path or ``-``."""
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
 # -- the registry ------------------------------------------------------------
 
 _STRATEGY_CLI = {
@@ -619,9 +668,47 @@ _register(OpSpec(
 ))
 
 _register(OpSpec(
+    name="ingest",
+    kind="write",
+    doc="Stream disaster events into the historical risk field (o_h).",
+    params=(
+        Param("events",
+              "list of {event_type, lat, lon, year} disaster records",
+              required=True, check=_check_event_list,
+              cli={"positional": True, "metavar": "events_file",
+                   "dest": "events",
+                   "help": "JSON file of [{event_type, lat, lon, year}] "
+                           "records ('-' reads stdin)",
+                   "loader": _load_events_file},
+              example=[{"event_type": "fema-hurricane",
+                        "lat": 29.95, "lon": -90.07, "year": 2005}]),
+        Param("now_year",
+              "reference year advancing the rolling window edge",
+              check=_check_int,
+              cli={"flag": "--now-year", "type": int}, example=2005),
+        Param("token", "idempotency token (applied at most once)",
+              check=_check_str),
+    ),
+    routing="parent",
+))
+
+_register(OpSpec(
     name="stats",
     kind="control",
     doc="Server counters, engine cache stats, current fingerprint.",
+    routing="parent",
+    fingerprint_reply=False,
+))
+
+_register(OpSpec(
+    name="subscribe",
+    kind="control",
+    doc="Poll risk-fingerprint changes since a changelog version.",
+    params=(
+        Param("since", "last changelog version already seen",
+              default=0, check=_check_non_negative_int,
+              cli={"flag": "--since", "type": int}, example=0),
+    ),
     routing="parent",
     fingerprint_reply=False,
 ))

@@ -35,6 +35,15 @@ from the token ledger (``duplicate: true`` on the wire).  The returned
 :class:`SwapOutcome` carries the full applied field so a sharded parent
 can broadcast the swap to its shard processes behind a fingerprint
 barrier.
+
+Streaming event **ingests** (:meth:`QueryService.apply_ingest`) follow
+the same write-barrier discipline for the *historical* field: the
+batch of disaster records folds into a lazily-built
+:class:`~repro.risk.streaming.StreamingHistoricalModel`, the new
+``o_h`` vector comes out of the incremental KDE path (only rows near
+the new events are recomputed), and the session swaps to it
+transactionally under the same token ledger.  The outcome again
+carries the full applied field for the shard barrier.
 """
 
 from __future__ import annotations
@@ -68,14 +77,15 @@ TOKEN_LEDGER_SIZE = 256
 
 @dataclass(frozen=True)
 class SwapOutcome:
-    """What one ``update_forecast`` barrier did.
+    """What one write barrier (``update_forecast`` / ``ingest``) did.
 
     Attributes:
         applied: a swap was executed this call (False for validation
             errors and token-ledger duplicates).
         changed: the risk field actually changed (sweeps invalidated).
-        field: the full ``{pop_id: risk}`` forecast field that was
-            applied — what a sharded parent broadcasts to shards.
+        field: the full ``{pop_id: risk}`` field that was applied —
+            ``o_f`` for a forecast swap, ``o_h`` for an ingest — what a
+            sharded parent broadcasts to shards.
         fingerprint: the engine's risk fingerprint after the call.
     """
 
@@ -114,6 +124,12 @@ class QueryService:
         self._faults = faults
         # token -> the 'changed' outcome of the swap it guarded.
         self._applied_tokens: "OrderedDict[str, bool]" = OrderedDict()
+        # Streaming-ingest state: the mutable historical model is built
+        # lazily on the first ingest; the log of successfully applied
+        # batches lets a rolled-back (discarded) model be rebuilt to
+        # exactly the last good state.
+        self._streaming = None
+        self._ingest_log: List[Tuple[tuple, Optional[int]]] = []
 
     def _fault(self, site: str):
         if self._faults is None:
@@ -261,6 +277,145 @@ class QueryService:
         self._applied_tokens[token] = changed
         while len(self._applied_tokens) > TOKEN_LEDGER_SIZE:
             self._applied_tokens.popitem(last=False)
+
+    # -- streaming event ingest --------------------------------------------
+
+    def streaming_model(self):
+        """The service's mutable streaming historical model.
+
+        Built lazily on first use (the five-class corpus model), then
+        fast-forwarded through every previously applied ingest batch —
+        which is also how a model discarded by a failed apply comes
+        back: the log holds only batches whose swap committed, and
+        :meth:`~repro.risk.streaming.StreamingHistoricalModel.ingest`
+        is deterministic, so the replay reproduces the exact
+        fingerprint the engine is serving.
+        """
+        if self._streaming is None:
+            from ..risk.streaming import default_streaming_model
+
+            model = default_streaming_model()
+            for events, now_year in self._ingest_log:
+                model.ingest(events, now_year=now_year)
+            self._streaming = model
+        return self._streaming
+
+    @staticmethod
+    def _parse_events(records):
+        """Wire records -> typed :class:`DisasterEvent` list.
+
+        Semantic violations (unknown class names, out-of-range
+        coordinates, implausible years) surface as ``bad_request``.
+        """
+        from ..disasters.events import DisasterEvent
+        from ..geo.coords import GeoPoint
+
+        events = []
+        for record in records:
+            try:
+                events.append(
+                    DisasterEvent(
+                        event_type=record["event_type"],
+                        location=GeoPoint(
+                            lat=float(record["lat"]),
+                            lon=float(record["lon"]),
+                        ),
+                        year=int(record["year"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ProtocolError(
+                    "bad_request", f"bad event record {record!r}: {exc}"
+                )
+        return events
+
+    def apply_ingest(self, item: PendingRequest) -> SwapOutcome:
+        """Apply one ``ingest`` barrier: events in, new ``o_h`` out.
+
+        Mirrors :meth:`apply_update`: token-ledger idempotency, then a
+        transactional swap — the batch is folded into the streaming
+        model (duplicates and stale records dropped, window retires
+        applied), the per-PoP ``o_h`` field is recomputed through the
+        incremental KDE path, and the session rebinds to it.  A failure
+        during the apply restores the prior risk model *and* discards
+        the half-advanced streaming model (rebuilt from the log of
+        committed batches on the next ingest).
+
+        The reply carries the :class:`~repro.risk.streaming.IngestDelta`
+        summary; ``changed`` reports whether the engine's risk field
+        moved (the same contract as ``update_forecast``).
+        """
+        request = item.request
+        try:
+            spec = ops.get_spec("ingest")
+            params = ops.validate_params(spec, request.params)
+            token = params["token"]
+            events = self._parse_events(params["events"])
+            if getattr(self.session, "network", None) is None:
+                raise ProtocolError(
+                    "bad_request",
+                    "ingest requires a network-backed session "
+                    "(o_h evaluation needs PoP coordinates)",
+                )
+            if token is not None and token in self._applied_tokens:
+                fingerprint = self.session.engine.risk_fingerprint
+                item.reply = encode_reply(
+                    request.id,
+                    {
+                        "changed": self._applied_tokens[token],
+                        "duplicate": True,
+                    },
+                    fingerprint=fingerprint,
+                )
+                item.ok = True
+                return SwapOutcome(
+                    applied=False, changed=False, fingerprint=fingerprint
+                )
+            model = self.streaming_model()
+            # Ingest validates the whole batch (classes, window slides)
+            # before mutating, so a raise here leaves the model intact.
+            delta = model.ingest(events, now_year=params["now_year"])
+            field, changed = self._transactional_ingest(model)
+            self._ingest_log.append((tuple(events), params["now_year"]))
+            if token is not None:
+                self._remember_token(token, changed)
+            fingerprint = self.session.engine.risk_fingerprint
+            body = delta.as_dict()
+            body["changed"] = changed
+            body["duplicate"] = False
+            item.reply = encode_reply(request.id, body, fingerprint=fingerprint)
+            item.ok = True
+            return SwapOutcome(
+                applied=True, changed=changed, field=field,
+                fingerprint=fingerprint,
+            )
+        except Exception as exc:  # noqa: BLE001 - mapped to wire errors
+            item.reply = self._error_reply(request, exc)
+            item.ok = False
+            return SwapOutcome(applied=False, changed=False)
+
+    def _transactional_ingest(self, model):
+        """Swap the historical risk field; roll back on any failure.
+
+        On a raise (including the injected ``apply_ingest`` fault,
+        fired *after* the new field landed) the session is restored to
+        the prior model and the mutated streaming model is discarded —
+        :meth:`streaming_model` rebuilds it from the committed log, so
+        the failed batch leaves no trace.
+        """
+        session = self.session
+        prior_model = session.model
+        try:
+            field = model.pop_risks(session.network)
+            changed = session.update_historical(field)
+            rule = self._fault("apply_ingest")
+            if rule is not None:
+                raise InjectedFault("injected apply_ingest failure")
+            return field, changed
+        except Exception:
+            self._streaming = None
+            session.update_model(prior_model)
+            raise
 
     # -- per-request dispatch ----------------------------------------------
 

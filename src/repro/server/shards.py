@@ -60,12 +60,16 @@ items to a second replica and takes the first reply per item; the
 loser's late reply is drained and discarded by sequence number.
 
 **Writes** keep the single-process guarantee: the parent applies
-``update_forecast`` authoritatively (token ledger, transactional
-rollback), then broadcasts the applied field to every shard and
-collects a **fingerprint barrier** — each shard acks with its
-post-swap risk fingerprint, which must equal the parent's.  Queue
+``update_forecast`` / ``ingest`` authoritatively (token ledger,
+transactional rollback, incremental KDE), then broadcasts the applied
+field — the forecast o_f, or the recomputed historical o_h — to every
+shard and collects a **fingerprint barrier**: each shard acks with
+its post-apply risk fingerprint, which must equal the parent's.
+Shards never see raw disaster events; they receive the already
+evaluated per-PoP field, so their rebind is a cheap dict swap and the
+fingerprint check proves byte-identical risk everywhere.  Queue
 barrier placement means no query batch is in flight during the
-broadcast, so no reply anywhere can mix pre- and post-advisory risk;
+broadcast, so no reply anywhere can mix pre- and post-write risk;
 a shard that fails the barrier is killed and respawned warm.
 
 **Supervision / rejoin** mirrors the PR4 single-worker watchdog, per
@@ -244,6 +248,9 @@ class ShardSpec:
     #: Forecast field to re-apply on (re)spawn, so a shard restarted
     #: after swaps comes up on the current advisory, not the boot one.
     forecast_field: Optional[Dict[str, float]] = None
+    #: Historical (o_h) field to re-apply on (re)spawn — the streaming
+    #: ingest counterpart of ``forecast_field``.
+    historical_field: Optional[Dict[str, float]] = None
 
 
 # -- the child process -------------------------------------------------------
@@ -257,6 +264,7 @@ def _shard_main(shard_id: int, conn, spec: ShardSpec) -> None:
         ("ping", seq)                      -> ("pong", seq, risk_fingerprint, pid)
         ("batch", seq, items, die, stall)  -> ("batch", seq, replies, metrics)
         ("swap", seq, field)               -> ("swap", seq, risk_fingerprint, changed)
+        ("ingest", seq, field)             -> ("ingest", seq, risk_fingerprint, changed)
         ("stop",)                          -> (child exits)
 
     Batch items are ``(request_id, op, params, v)`` tuples; replies are
@@ -289,6 +297,8 @@ def _shard_main(shard_id: int, conn, spec: ShardSpec) -> None:
         raise RuntimeError("shard session did not adopt the shm engine")
     if spec.forecast_field is not None:
         session.update_forecast(spec.forecast_field)
+    if spec.historical_field is not None:
+        session.update_historical(spec.historical_field)
     service = QueryService(session, faults=spec.faults)
     while True:
         try:
@@ -340,6 +350,15 @@ def _shard_main(shard_id: int, conn, spec: ShardSpec) -> None:
                 )
             except Exception as exc:  # noqa: BLE001 - reported to parent
                 conn.send(("swap", seq, f"error: {exc}", False))
+        elif kind == "ingest":
+            _, seq, field_values = message
+            try:
+                changed = session.update_historical(field_values)
+                conn.send(
+                    ("ingest", seq, session.engine.risk_fingerprint, changed)
+                )
+            except Exception as exc:  # noqa: BLE001 - reported to parent
+                conn.send(("ingest", seq, f"error: {exc}", False))
         elif kind == "stop":
             break
     try:
@@ -1108,6 +1127,31 @@ class ShardPool:
         self._spec = replace(
             self._spec, forecast_field=dict(forecast)
         )
+        return self._broadcast("swap", forecast, fingerprint)
+
+    def broadcast_ingest(
+        self, field_values: Dict[str, float], fingerprint: str
+    ) -> int:
+        """Push an ingest-updated historical (o_h) field, barriered.
+
+        Same contract as :meth:`broadcast_swap` for the other half of
+        the risk field: the parent has already run the incremental KDE
+        and evaluated the new o_h per PoP, so shards rebind the plain
+        value dict and ack fingerprints — the barrier proves every
+        replica serves the exact post-ingest risk.  Returns the number
+        of shards lost at the barrier.
+        """
+        assert self._spec is not None
+        self._spec = replace(
+            self._spec, historical_field=dict(field_values)
+        )
+        return self._broadcast("ingest", field_values, fingerprint)
+
+    def _broadcast(
+        self, kind: str, field_values: Dict[str, float], fingerprint: str
+    ) -> int:
+        """Fan one applied field to every shard under the fingerprint
+        barrier shared by both write kinds (``swap`` / ``ingest``)."""
         self.fingerprint = fingerprint
         crashes = 0
         for sid in range(self.nshards):
@@ -1117,22 +1161,22 @@ class ShardPool:
                 continue
             self._seq += 1
             try:
-                shard.conn.send(("swap", self._seq, dict(forecast)))
+                shard.conn.send((kind, self._seq, dict(field_values)))
             except (OSError, ValueError):
-                self._swap_crash(sid, "died before swap broadcast")
+                self._swap_crash(sid, f"died before {kind} broadcast")
                 crashes += 1
                 continue
             message = self._recv_matching(
-                sid, shard, "swap", self._seq, self.batch_timeout
+                sid, shard, kind, self._seq, self.batch_timeout
             )
             if (
                 message is None
-                or message[0] != "swap"
+                or message[0] != kind
                 or message[1] != self._seq
                 or message[2] != fingerprint
             ):
                 got = message[2] if message is not None else "no ack"
-                self._swap_crash(sid, f"failed the swap barrier ({got!r})")
+                self._swap_crash(sid, f"failed the {kind} barrier ({got!r})")
                 crashes += 1
                 continue
             shard.swaps += 1

@@ -43,6 +43,7 @@ class ServerStats:
         self.coalesced_sweeps = 0  # sweep demands shared within a batch
         self.sweeps_computed = 0   # cold sweeps actually run
         self.forecast_swaps = 0    # update_forecast calls that invalidated
+        self.ingests = 0           # ingest calls that changed the risk field
         self.worker_crashes = 0    # worker task died (batch aborted)
         self.worker_restarts = 0   # supervisor restarts after a crash
         self.read_failovers = 0    # reads answered by a surviving replica
@@ -96,6 +97,7 @@ class ServerStats:
             "coalesced_sweeps": self.coalesced_sweeps,
             "sweeps_computed": self.sweeps_computed,
             "forecast_swaps": self.forecast_swaps,
+            "ingests": self.ingests,
             "worker_crashes": self.worker_crashes,
             "worker_restarts": self.worker_restarts,
             "read_failovers": self.read_failovers,

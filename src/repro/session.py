@@ -138,6 +138,17 @@ class RoutingSession:
         """
         return self.update_model(self.model.with_forecast_risk(forecast_risk))
 
+    def update_historical(self, historical_risk) -> bool:
+        """Swap in a new per-PoP ``o_h`` field (streaming event ingest),
+        keeping shares, forecast and gammas.
+
+        Returns True when cached sweeps were invalidated; the engine
+        drops only the sweeps whose components the new field touches.
+        """
+        return self.update_model(
+            self.model.with_historical_risk(historical_risk)
+        )
+
     def with_gammas(self, gamma_h: float, gamma_f: float) -> "RoutingSession":
         """A sibling session over the same topology, different gammas."""
         session = RoutingSession.__new__(RoutingSession)

@@ -25,6 +25,25 @@ Layout and durability:
 The directory is resolved per call from ``RISKROUTE_CACHE_DIR`` (else
 ``$XDG_CACHE_HOME/riskroute``, else ``~/.cache/riskroute``);
 ``RISKROUTE_CACHE_DISABLE=1`` turns persistence off process-wide.
+``RISKROUTE_CACHE_MAX_BYTES`` bounds the directory: after every write
+the oldest-mtime entries are evicted until the total size fits
+(counted in ``stats.evictions``).
+
+Delta-patch entries (streaming ingestion)
+-----------------------------------------
+
+Streaming ingest produces fields that differ from their predecessor at
+a handful of rows.  :meth:`RiskFieldCache.put_delta` stores such a
+child as ``<kind>-<key>.delta.npz`` — the parent's key, the patched
+row indices and values, and a global ``scale`` — instead of a full
+array.  :meth:`RiskFieldCache.get` resolves the chain transparently:
+it loads the nearest full ``.npy`` ancestor, applies ``base * scale``
+then the row patches of each link, newest-last.  ``scale`` carries the
+KDE normaliser ratio when the event count changed (``1.0`` chains are
+bitwise-exact; a rescale rounds once per cell, exact at zero cells).
+Chains are bounded at :data:`_MAX_DELTA_DEPTH` links — ``put_delta``
+refuses (returns False) beyond that, or when the parent is absent, and
+the caller falls back to a full :meth:`~RiskFieldCache.put`.
 """
 
 from __future__ import annotations
@@ -48,7 +67,23 @@ __all__ = [
 #: Bump to orphan every existing entry on a format change.
 _FORMAT_VERSION = "v1"
 
+#: Longest delta chain resolved by ``get`` before ``put_delta`` starts
+#: refusing — bounds both resolution cost and compound rescale error.
+_MAX_DELTA_DEPTH = 8
+
 CacheArg = Union["RiskFieldCache", str, None]
+
+
+def _max_cache_bytes() -> Optional[int]:
+    """The configured size bound, or None for unbounded (the default)."""
+    raw = os.environ.get("RISKROUTE_CACHE_MAX_BYTES")
+    if not raw:
+        return None
+    try:
+        limit = int(raw)
+    except ValueError:
+        return None
+    return limit if limit > 0 else None
 
 
 def content_key(parts: Iterable[str]) -> str:
@@ -105,33 +140,130 @@ class RiskFieldCache:
             raise ValueError(f"cache kind must be an identifier, got {kind!r}")
         return self.cache_dir / f"{kind}-{key}.npy"
 
+    def _delta_path(self, kind: str, key: str) -> Path:
+        if not kind.isidentifier():
+            raise ValueError(f"cache kind must be an identifier, got {kind!r}")
+        return self.cache_dir / f"{kind}-{key}.delta.npz"
+
     def get(self, kind: str, key: str) -> Optional["np.ndarray"]:
         """The stored array for ``(kind, key)``, or None on a miss.
 
-        Unreadable entries (torn by a crash predating atomic writes,
-        truncated disk, wrong format) are deleted and reported as a
-        miss — never raised.
+        Resolves delta-patch chains transparently (see the module
+        docstring).  Unreadable entries (torn by a crash predating
+        atomic writes, truncated disk, wrong format) are deleted and
+        reported as a miss — never raised.
         """
+        values = self._load_chain(kind, key, _MAX_DELTA_DEPTH + 1)
+        with self._lock:
+            if values is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+        return values
+
+    def _load_chain(
+        self, kind: str, key: str, budget: int
+    ) -> Optional["np.ndarray"]:
+        """Load an entry, following up to ``budget`` delta links."""
+        if budget < 0:
+            return None
         path = self._path(kind, key)
         try:
-            values = np.load(path, allow_pickle=False)
+            return np.load(path, allow_pickle=False)
         except FileNotFoundError:
-            with self._lock:
-                self.stats.misses += 1
-            return None
+            pass
         except (OSError, ValueError, EOFError):
-            # Corrupted entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            with self._lock:
-                self.stats.misses += 1
-                self.stats.invalidations += 1
+            self._drop_corrupt(path)
             return None
+        delta_path = self._delta_path(kind, key)
+        try:
+            with np.load(delta_path, allow_pickle=False) as entry:
+                parent_key = str(entry["parent"])
+                indices = np.asarray(entry["indices"], dtype=np.int64)
+                values = np.asarray(entry["values"])
+                length = int(entry["length"])
+                scale = float(entry["scale"])
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, EOFError, KeyError):
+            self._drop_corrupt(delta_path)
+            return None
+        base = self._load_chain(kind, parent_key, budget - 1)
+        if base is None or base.shape != (length,):
+            return None
+        # scale == 1.0 reproduces the base bitwise at unpatched rows.
+        out = base.copy() if scale == 1.0 else base * scale
+        out[indices] = values
+        return out
+
+    def _drop_corrupt(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
         with self._lock:
-            self.stats.hits += 1
-        return values
+            self.stats.invalidations += 1
+
+    def chain_depth(self, kind: str, key: str) -> Optional[int]:
+        """Delta links under ``key``: 0 for a full entry, None if absent."""
+        if self._path(kind, key).exists():
+            return 0
+        try:
+            with np.load(
+                self._delta_path(kind, key), allow_pickle=False
+            ) as entry:
+                return int(entry["depth"])
+        except (OSError, ValueError, EOFError, KeyError):
+            return None
+
+    def put_delta(
+        self,
+        kind: str,
+        key: str,
+        parent_key: str,
+        indices: "np.ndarray",
+        values: "np.ndarray",
+        length: int,
+        scale: float = 1.0,
+    ) -> bool:
+        """Store ``(kind, key)`` as a patch against ``parent_key``.
+
+        The child array is ``parent * scale`` with ``values`` written at
+        ``indices`` (child length ``length``).  Returns False — store a
+        full entry instead — when the parent is absent, its chain is
+        already :data:`_MAX_DELTA_DEPTH` deep, or the write failed.
+        """
+        parent_depth = self.chain_depth(kind, parent_key)
+        if parent_depth is None or parent_depth + 1 > _MAX_DELTA_DEPTH:
+            return False
+        path = self._delta_path(kind, key)
+        payload = {
+            "parent": np.array(parent_key),
+            "indices": np.ascontiguousarray(indices, dtype=np.int64),
+            "values": np.ascontiguousarray(values),
+            "length": np.array(int(length)),
+            "scale": np.array(float(scale)),
+            "depth": np.array(parent_depth + 1),
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(self.cache_dir), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **payload)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return False
+        self._enforce_budget()
+        return True
 
     def put(self, kind: str, key: str, values: "np.ndarray") -> None:
         """Store ``values`` under ``(kind, key)``, atomically.
@@ -156,23 +288,72 @@ class RiskFieldCache:
                     pass
                 raise
         except OSError:
-            pass
+            return
+        self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """Evict oldest-mtime entries past ``RISKROUTE_CACHE_MAX_BYTES``.
+
+        Best-effort, like every other cache write: an unreadable or
+        already-removed file is simply skipped.  Evicting a mid-chain
+        parent only degrades its descendants to misses — ``get``
+        refuses to resolve past a missing ancestor.
+        """
+        limit = _max_cache_bytes()
+        if limit is None:
+            return
+        entries = []
+        total = 0
+        try:
+            candidates = [
+                *self.cache_dir.glob("*.npy"),
+                *self.cache_dir.glob("*.delta.npz"),
+            ]
+        except OSError:
+            return
+        for path in candidates:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= limit:
+            return
+        entries.sort()
+        for _, size, path in entries:
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            with self._lock:
+                self.stats.evictions += 1
+            if total <= limit:
+                return
 
     def invalidate(self, kind: str, key: str) -> bool:
-        """Drop one entry; True when something was removed."""
-        try:
-            self._path(kind, key).unlink()
-        except OSError:
-            return False
-        with self._lock:
-            self.stats.invalidations += 1
-        return True
+        """Drop one entry (full or delta); True when something was removed."""
+        removed = False
+        for path in (self._path(kind, key), self._delta_path(kind, key)):
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed = True
+        if removed:
+            with self._lock:
+                self.stats.invalidations += 1
+        return removed
 
     def clear(self) -> int:
         """Drop every entry (all kinds); returns the count removed."""
         removed = 0
         try:
-            entries = list(self.cache_dir.glob("*.npy"))
+            entries = [
+                *self.cache_dir.glob("*.npy"),
+                *self.cache_dir.glob("*.delta.npz"),
+            ]
         except OSError:
             return 0
         for path in entries:

@@ -166,6 +166,59 @@ class _BucketIndex:
         """(M, 3) integer cell coordinates for query embeddings."""
         return np.floor(xyz / self.cell).astype(np.int64)
 
+    # -- in-place patching (streaming ingest) ------------------------------
+    #
+    # Cells are independent sums, so appending or retiring K events only
+    # has to touch the buckets those K events live in.  Both patches
+    # preserve the ascending-index invariant the truncated kernel path
+    # relies on, so a patched index gathers candidates in exactly the
+    # order a from-scratch index over the same event array would.
+
+    def add_events(self, xyz: "np.ndarray") -> None:
+        """Bin K new events, assigned indices ``n_events..n_events+K-1``.
+
+        New indices are larger than every existing one and are appended
+        in ascending order, so bucket arrays stay sorted.
+        """
+        start = self.n_events
+        cells = np.floor(xyz / self.cell).astype(np.int64)
+        for offset in range(cells.shape[0]):
+            key = (
+                int(cells[offset, 0]),
+                int(cells[offset, 1]),
+                int(cells[offset, 2]),
+            )
+            index = np.int64(start + offset)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                self._buckets[key] = np.array([index], dtype=np.int64)
+            else:
+                self._buckets[key] = np.append(bucket, index)
+        self.n_events += cells.shape[0]
+
+    def remove_events(self, indices: "np.ndarray") -> None:
+        """Drop event indices and renumber the survivors in place.
+
+        ``indices`` must be sorted unique indices into the *current*
+        event array.  Every bucket is renumbered to match the compacted
+        array (``np.delete`` semantics): a surviving index drops by the
+        number of removed indices below it, which preserves relative —
+        hence ascending — order.
+        """
+        removed = np.asarray(indices, dtype=np.int64)
+        if removed.size == 0:
+            return
+        for key in list(self._buckets):
+            bucket = self._buckets[key]
+            keep = bucket[np.isin(bucket, removed, invert=True)]
+            if keep.size == 0:
+                del self._buckets[key]
+                continue
+            if keep.size != bucket.size or removed[0] < keep[-1]:
+                keep = keep - np.searchsorted(removed, keep, side="left")
+            self._buckets[key] = keep
+        self.n_events -= removed.size
+
     def candidates(self, key: Tuple[int, int, int], reach: int) -> "np.ndarray":
         """Ascending event indices within ``reach`` cells of ``key``.
 
@@ -289,8 +342,9 @@ class GaussianKDE:
             None if cutoff_sigmas is None else float(cutoff_sigmas)
         )
         self.workers = int(workers)
+        self._chunk_arg = int(chunk_size)
         self._chunk_size = max(
-            1, min(int(chunk_size), _WORK_BUDGET // max(1, len(events)))
+            1, min(self._chunk_arg, _WORK_BUDGET // max(1, len(events)))
         )
         # Normalisation of a 2-D Gaussian: 1 / (2 pi sigma^2 N).
         self._norm = 1.0 / (

@@ -1,0 +1,365 @@
+"""Incrementally-updatable KDE for streaming event ingestion.
+
+A :class:`~repro.stats.kde.GaussianKDE` is immutable: appending one
+event to a 143k-event class means rebuilding the bucket index and
+re-sweeping every query point.  But the truncated evaluation path is a
+sum over *independent* cells — an appended (or retired) event can only
+change kernel sums at query points whose bucket neighborhood contains
+the event's cell.  :class:`StreamingKDE` exploits that:
+
+* ``append_events`` / ``retire_events`` patch the
+  :class:`~repro.stats.kde._BucketIndex` buckets in place (cells are
+  independent, and both patches preserve the ascending-index gather
+  order), and
+* *tracked* query-point sets (PoP coordinate arrays, grid centres) keep
+  their unnormalised kernel-sum vectors resident, so an update only
+  recomputes the rows inside the delta's dirty-cell neighborhood.
+
+Parity contract — **bitwise**, not approximate
+----------------------------------------------
+
+The per-row kernel sum in ``_truncated_sums`` is ``kernel.sum(axis=1)``
+over candidates gathered from the row's cell neighborhood in ascending
+event order; it does not depend on which other rows share the chunk.
+A row is *dirty* exactly when its cell key lies within Chebyshev
+``reach`` of a delta event's cell key — precisely the candidate-gather
+criterion — so a clean row's candidate set (as coordinate values, in
+order) is unchanged by the patch and its sum is bitwise unchanged.
+Dirty rows are recomputed through the ordinary ``_truncated_sums``
+machinery against the patched index, whose buckets match a
+from-scratch index over the compacted event array.  Densities are
+always produced as ``sums * norm`` with the normaliser recomputed for
+the new event count, so every tracked density equals a full
+``GaussianKDE`` rebuild **bit for bit** — the full-rebuild path stays
+the parity oracle, not an approximation target.
+
+Kernel sums are stored rather than densities because the normaliser
+``1 / (2 pi sigma^2 N)`` changes with every append/retire: patching
+densities in place would need a global rescale (one rounding per cell);
+sums are invariant for clean rows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Optional, Tuple
+
+import numpy as np
+
+from ..geo.grid import GeoGrid, GridField
+from .kde import (
+    DEFAULT_CUTOFF_SIGMAS,
+    GaussianKDE,
+    _chord_of_miles,
+    _unit_xyz,
+    _WORK_BUDGET,
+)
+
+__all__ = ["StreamingKDE", "KdeDelta"]
+
+#: Tracked point-set bound: each entry holds the point array plus one
+#: float per row (a Level3 PoP set is ~2KB; a Figure-4 grid ~130KB).
+_TRACKED_LIMIT = 8
+
+_CellKey = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class KdeDelta:
+    """One append/retire patch: what changed, and where it can matter.
+
+    ``hot_cells`` is the union of the delta events' bucket cells
+    expanded by the gather ``reach`` — a query point's kernel sum can
+    have changed iff its own cell key is in this set.
+    """
+
+    parent_fingerprint: str
+    fingerprint: str
+    appended: int
+    retired: int
+    cell: float
+    reach: int
+    hot_cells: FrozenSet[_CellKey] = field(default_factory=frozenset)
+
+    @property
+    def changed(self) -> bool:
+        """False for a no-op delta (empty batch)."""
+        return self.fingerprint != self.parent_fingerprint
+
+    def dirty_mask(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """Boolean mask of (lat, lon) rows whose kernel sums may differ."""
+        latlon_deg = np.asarray(latlon_deg, dtype=np.float64)
+        out = np.zeros(latlon_deg.shape[0], dtype=bool)
+        if not self.hot_cells or latlon_deg.shape[0] == 0:
+            return out
+        keys = np.floor(_unit_xyz(latlon_deg) / self.cell).astype(np.int64)
+        hot = self.hot_cells
+        for row in range(keys.shape[0]):
+            key = (int(keys[row, 0]), int(keys[row, 1]), int(keys[row, 2]))
+            if key in hot:
+                out[row] = True
+        return out
+
+    def merged(self, other: "KdeDelta") -> "KdeDelta":
+        """Compose two consecutive deltas (append then window retire)."""
+        if other.parent_fingerprint != self.fingerprint:
+            raise ValueError("deltas are not consecutive")
+        return KdeDelta(
+            parent_fingerprint=self.parent_fingerprint,
+            fingerprint=other.fingerprint,
+            appended=self.appended + other.appended,
+            retired=self.retired + other.retired,
+            cell=self.cell,
+            reach=max(self.reach, other.reach),
+            hot_cells=self.hot_cells | other.hot_cells,
+        )
+
+
+class _TrackedPoints:
+    """A registered query-point set with resident kernel sums."""
+
+    __slots__ = ("latlon", "sums", "pending", "last_key", "last_norm")
+
+    def __init__(self, latlon: "np.ndarray", sums: "np.ndarray") -> None:
+        self.latlon = latlon
+        self.sums = sums
+        # Rows dirtied since the grid cache last saw this set, plus the
+        # key/normaliser of that last write — the parent link for
+        # delta-patch cache entries.
+        self.pending = np.zeros(latlon.shape[0], dtype=bool)
+        self.last_key: Optional[str] = None
+        self.last_norm: Optional[float] = None
+
+
+class StreamingKDE(GaussianKDE):
+    """A :class:`GaussianKDE` whose event set can be patched in place.
+
+    Requires the truncated path (``cutoff_sigmas`` must not be None):
+    the exact dense path has no cell structure to localise updates in.
+    All evaluation methods are inherited and stay bitwise-identical to
+    a fresh ``GaussianKDE`` over the current event array; so does
+    :attr:`fingerprint`, which is what keeps fingerprint-keyed caches
+    consistent across the streaming and rebuild paths.
+    """
+
+    def _init_from_array(self, events, bandwidth_miles, chunk_size,
+                         cutoff_sigmas, workers) -> None:
+        if cutoff_sigmas is None:
+            raise ValueError(
+                "StreamingKDE requires a truncation radius (the dense "
+                "path has no cells to patch); pass cutoff_sigmas"
+            )
+        super()._init_from_array(
+            events, bandwidth_miles, chunk_size, cutoff_sigmas, workers
+        )
+        self._tracked: Dict[str, _TrackedPoints] = {}
+
+    # -- geometry ----------------------------------------------------------
+
+    def _cell_edge(self) -> float:
+        radius = self.cutoff_sigmas * self.bandwidth_miles
+        return max(_chord_of_miles(radius), 1e-12)
+
+    def _reach(self) -> int:
+        radius = self.cutoff_sigmas * self.bandwidth_miles
+        return max(
+            1, int(math.ceil(_chord_of_miles(radius) / self._cell_edge()))
+        )
+
+    def _hot_cells(self, latlon_deg: "np.ndarray") -> FrozenSet[_CellKey]:
+        """Delta-event cells expanded by the gather reach."""
+        cell = self._cell_edge()
+        reach = self._reach()
+        keys = np.floor(_unit_xyz(latlon_deg) / cell).astype(np.int64)
+        hot = set()
+        for row in range(keys.shape[0]):
+            i = int(keys[row, 0])
+            j = int(keys[row, 1])
+            k = int(keys[row, 2])
+            for di in range(-reach, reach + 1):
+                for dj in range(-reach, reach + 1):
+                    for dk in range(-reach, reach + 1):
+                        hot.add((i + di, j + dj, k + dk))
+        return frozenset(hot)
+
+    # -- streaming updates -------------------------------------------------
+
+    def append_events(self, latlon_deg: "np.ndarray") -> KdeDelta:
+        """Add K events; O(K) index patch + O(dirty rows) recompute.
+
+        Returns the :class:`KdeDelta` describing the patch (a no-op
+        delta for an empty batch).
+        """
+        latlon = np.asarray(latlon_deg, dtype=np.float64)
+        if latlon.ndim != 2 or latlon.shape[1] != 2:
+            raise ValueError("expected a (K, 2) array of (lat, lon)")
+        parent = self.fingerprint
+        if latlon.shape[0] == 0:
+            return self._noop_delta(parent)
+        if self._index is not None:
+            self._index.add_events(_unit_xyz(latlon))
+        self._events = np.concatenate([self._events, latlon], axis=0)
+        self._resize()
+        delta = KdeDelta(
+            parent_fingerprint=parent,
+            fingerprint=self.fingerprint,
+            appended=latlon.shape[0],
+            retired=0,
+            cell=self._cell_edge(),
+            reach=self._reach(),
+            hot_cells=self._hot_cells(latlon),
+        )
+        self._patch_tracked(delta)
+        return delta
+
+    def retire_events(self, indices) -> KdeDelta:
+        """Remove events by index; the retire half of a window slide.
+
+        Raises:
+            ValueError: for out-of-range indices, or a retirement that
+                would leave the estimate empty.
+        """
+        removed = np.unique(np.asarray(indices, dtype=np.int64))
+        parent = self.fingerprint
+        if removed.size == 0:
+            return self._noop_delta(parent)
+        if removed[0] < 0 or removed[-1] >= self.n_events:
+            raise ValueError("retire index out of range")
+        if removed.size >= self.n_events:
+            raise ValueError("cannot retire every event")
+        retired_latlon = self._events[removed].copy()
+        if self._index is not None:
+            self._index.remove_events(removed)
+        self._events = np.delete(self._events, removed, axis=0)
+        self._resize()
+        delta = KdeDelta(
+            parent_fingerprint=parent,
+            fingerprint=self.fingerprint,
+            appended=0,
+            retired=int(removed.size),
+            cell=self._cell_edge(),
+            reach=self._reach(),
+            hot_cells=self._hot_cells(retired_latlon),
+        )
+        self._patch_tracked(delta)
+        return delta
+
+    def _noop_delta(self, fingerprint: str) -> KdeDelta:
+        return KdeDelta(
+            parent_fingerprint=fingerprint,
+            fingerprint=fingerprint,
+            appended=0,
+            retired=0,
+            cell=self._cell_edge(),
+            reach=self._reach(),
+        )
+
+    def _resize(self) -> None:
+        """Recompute the N-dependent derived state after a patch.
+
+        Same expressions as ``_init_from_array``, so the normaliser and
+        chunking match a from-scratch build exactly.
+        """
+        n = self._events.shape[0]
+        self._norm = 1.0 / (2.0 * math.pi * self.bandwidth_miles**2 * n)
+        self._chunk_size = max(
+            1, min(self._chunk_arg, _WORK_BUDGET // max(1, n))
+        )
+        self._fingerprint = None
+
+    # -- tracked point sets ------------------------------------------------
+
+    def _track(self, latlon_deg: "np.ndarray") -> _TrackedPoints:
+        from ..engine.fingerprint import array_fingerprint
+
+        key = array_fingerprint(latlon_deg)
+        tracked = self._tracked.get(key)
+        if tracked is None:
+            latlon = np.ascontiguousarray(latlon_deg, dtype=np.float64)
+            sums = self._kernel_sums(latlon, self.cutoff_sigmas)
+            tracked = _TrackedPoints(latlon, sums)
+            if len(self._tracked) >= _TRACKED_LIMIT:
+                self._tracked.pop(next(iter(self._tracked)))
+            self._tracked[key] = tracked
+        return tracked
+
+    def tracked_density(self, latlon_deg: "np.ndarray") -> "np.ndarray":
+        """``density_array`` through the resident kernel sums.
+
+        First call for a point set pays the full sweep; every later
+        call — including after append/retire patches — is O(dirty
+        rows).  Bitwise equal to :meth:`density_array`.
+        """
+        latlon_deg = np.asarray(latlon_deg, dtype=np.float64)
+        if latlon_deg.ndim != 2 or latlon_deg.shape[1] != 2:
+            raise ValueError("expected an (M, 2) array of (lat, lon)")
+        return self._track(latlon_deg).sums * self._norm
+
+    def _patch_tracked(self, delta: KdeDelta) -> None:
+        for tracked in self._tracked.values():
+            mask = delta.dirty_mask(tracked.latlon)
+            if not mask.any():
+                continue
+            rows = np.flatnonzero(mask)
+            tracked.sums[rows] = self._truncated_sums(
+                tracked.latlon[rows], self.cutoff_sigmas, None
+            )
+            tracked.pending |= mask
+
+    # -- grid fields through the delta-patch cache -------------------------
+
+    def evaluate_grid(self, grid: GeoGrid, cache="default") -> GridField:
+        """Incremental ``evaluate_grid`` with delta-patch persistence.
+
+        A tracked grid recomputes only dirty cells; on write, when the
+        cache holds the parent field, only the dirtied cells (plus the
+        global normaliser rescale) are persisted as a
+        :meth:`~repro.stats.fieldcache.RiskFieldCache.put_delta` entry
+        chained off the parent key.
+        """
+        from .fieldcache import grid_field_key, resolve_cache
+
+        store = resolve_cache(cache)
+        key = None
+        if store is not None:
+            key = grid_field_key(self.fingerprint, grid)
+            values = store.get("grid", key)
+            if values is not None and values.shape == (
+                grid.n_lat * grid.n_lon,
+            ):
+                return GridField(grid, values.reshape(grid.shape))
+        tracked = self._track(grid.centers_array())
+        values = tracked.sums * self._norm
+        if store is not None:
+            self._store_grid(store, key, tracked, values)
+        return GridField(grid, values.reshape(grid.shape))
+
+    def _store_grid(self, store, key, tracked, values) -> None:
+        wrote = False
+        if (
+            tracked.last_key is not None
+            and tracked.last_key != key
+            and tracked.last_norm
+        ):
+            dirty = np.flatnonzero(tracked.pending)
+            # A delta bigger than half the field saves nothing.
+            if dirty.size <= values.shape[0] // 2:
+                # Clean cells carry over from the parent *densities* via
+                # the normaliser ratio (exact at sum==0 cells, one
+                # rounding elsewhere — see fieldcache docs).
+                scale = self._norm / tracked.last_norm
+                wrote = store.put_delta(
+                    "grid",
+                    key,
+                    tracked.last_key,
+                    dirty,
+                    values[dirty],
+                    values.shape[0],
+                    scale=scale,
+                )
+        if not wrote:
+            store.put("grid", key, values)
+        tracked.last_key = key
+        tracked.last_norm = self._norm
+        tracked.pending[:] = False

@@ -1,0 +1,290 @@
+"""Server-plane streaming ingest: ops, delta invalidation, shards.
+
+The issue's end-to-end acceptance surface:
+
+* ``ingest`` is an idempotency-tokened write barrier — applied once,
+  replayed as ``duplicate: True`` on token redelivery, rejected with
+  ``bad_request`` before any mutation on malformed records;
+* applied changes feed the bounded changelog behind the ``subscribe``
+  poll op, versioned and fingerprint-tagged;
+* after an ingest that only moves one region's events, previously
+  memoized sweeps for PoPs in untouched components are served from
+  cache (hit counters advance, no new misses) while touched PoPs
+  recompute — the delta-invalidation contract, observed through
+  ``stats()["engine"]``;
+* under sharding the ingest barrier rebinds every shard's ``o_h``
+  before the reply: all subsequent replies carry the post-ingest
+  fingerprint and the pool agrees with the parent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import RoutingSession
+from repro.engine import clear_engine_registry
+from repro.geo.coords import GeoPoint
+from repro.risk.model import RiskModel
+from repro.server import (
+    RiskRouteClient,
+    ServerConfig,
+    ServerError,
+    ServerThread,
+)
+from repro.topology.network import Network, NetworkTier, PoP
+from tests.conftest import build_diamond_model, build_diamond_network
+
+TORNADO = "fema-tornado"
+
+# Island A: northern Maine — the one corpus spot where the tornado
+# class density is exactly 0.0 (probed), so a tornado ingest elsewhere
+# leaves these PoPs' o_h bitwise unchanged.  Island B: Kansas.
+MAINE = ("isles:caribou", "isles:houlton")
+KANSAS = ("isles:wichita", "isles:topeka")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    clear_engine_registry()
+    yield
+    clear_engine_registry()
+
+
+@pytest.fixture
+def diamond_server():
+    thread = ServerThread(
+        RoutingSession(build_diamond_network(), build_diamond_model()),
+        ServerConfig(batch_linger=0.002),
+    )
+    host, port = thread.start()
+    yield host, port
+    thread.stop()
+
+
+def _tornado(lat: float, lon: float, year: int) -> dict:
+    return {"event_type": TORNADO, "lat": lat, "lon": lon, "year": year}
+
+
+def build_two_island_network() -> Network:
+    network = Network("isles", tier=NetworkTier.TIER1)
+    network.add_pop(PoP("isles:caribou", "Caribou", GeoPoint(46.9, -68.0)))
+    network.add_pop(PoP("isles:houlton", "Houlton", GeoPoint(46.1, -67.8)))
+    network.add_pop(PoP("isles:wichita", "Wichita", GeoPoint(37.69, -97.34)))
+    network.add_pop(PoP("isles:topeka", "Topeka", GeoPoint(39.05, -95.68)))
+    network.add_link("isles:caribou", "isles:houlton")
+    network.add_link("isles:wichita", "isles:topeka")
+    return network
+
+
+def build_two_island_model() -> RiskModel:
+    pops = MAINE + KANSAS
+    shares = {pop_id: 1.0 / len(pops) for pop_id in pops}
+    oh = {pop_id: 1e-3 for pop_id in pops}
+    of = {pop_id: 0.0 for pop_id in pops}
+    return RiskModel(shares, oh, of, gamma_h=1e5, gamma_f=1e3)
+
+
+@pytest.mark.timeout(180)
+class TestIngestOp:
+    def test_ingest_subscribe_round_trip(self, diamond_server):
+        host, port = diamond_server
+        with RiskRouteClient(host, port) as client:
+            baseline = client.subscribe(since=0)
+            assert baseline["version"] == 0
+            assert baseline["changes"] == []
+            assert baseline["truncated"] is False
+
+            reply = client.ingest(
+                [
+                    _tornado(37.5, -97.5, 2005),
+                    _tornado(38.5, -96.5, 2006),
+                ],
+                token="rt-1",
+            )
+            assert reply["appended"] == 2
+            assert reply["changed"] is True
+            assert reply["duplicate"] is False
+            fingerprint = client.last_fingerprint
+
+            feed = client.subscribe(since=0)
+            assert feed["version"] == 1
+            assert len(feed["changes"]) == 1
+            entry = feed["changes"][0]
+            assert entry["op"] == "ingest"
+            assert entry["fingerprint"] == fingerprint
+            assert feed["fingerprint"] == fingerprint
+            assert feed["truncated"] is False
+            # A caught-up subscriber sees nothing new.
+            assert client.subscribe(since=1)["changes"] == []
+
+            assert client.stats()["ingests"] == 1
+
+    def test_duplicate_token_replays_without_reapplying(self, diamond_server):
+        host, port = diamond_server
+        events = [_tornado(37.5, -97.5, 2005)]
+        with RiskRouteClient(host, port) as client:
+            first = client.ingest(events, token="dup-1")
+            assert first["duplicate"] is False
+            fingerprint = client.last_fingerprint
+
+            replay = client.ingest(events, token="dup-1")
+            assert replay == {"changed": first["changed"], "duplicate": True}
+            assert client.last_fingerprint == fingerprint
+            # The replay neither re-applies nor feeds the changelog.
+            assert client.stats()["ingests"] == 1
+            assert client.subscribe(since=0)["version"] == 1
+
+    def test_bad_record_rejected_before_mutation(self, diamond_server):
+        host, port = diamond_server
+        with RiskRouteClient(host, port) as client:
+            fingerprint = client.subscribe(since=0)["fingerprint"]
+            with pytest.raises(ServerError) as excinfo:
+                client.ingest(
+                    [_tornado(37.5, -97.5, 2005),
+                     {"event_type": "volcano", "lat": 1.0, "lon": 1.0,
+                      "year": 2005}],
+                    token="bad-1",
+                )
+            assert excinfo.value.code == "bad_request"
+            feed = client.subscribe(since=0)
+            assert feed["fingerprint"] == fingerprint
+            assert feed["version"] == 0
+            assert client.stats()["ingests"] == 0
+
+    def test_ingest_requires_events(self, diamond_server):
+        host, port = diamond_server
+        with RiskRouteClient(host, port) as client:
+            with pytest.raises(ServerError) as excinfo:
+                client.call("ingest", events=[], token="empty-1")
+            assert excinfo.value.code == "bad_request"
+
+
+@pytest.mark.timeout(300)
+class TestDeltaInvalidationAcrossIngest:
+    def test_untouched_island_served_from_cache(self):
+        """The issue's acceptance criterion, observed over the wire:
+        after a localized ingest, memoized sweeps for PoPs whose risk
+        inputs did not move keep serving from cache."""
+        thread = ServerThread(
+            RoutingSession(
+                build_two_island_network(), build_two_island_model()
+            ),
+            ServerConfig(batch_linger=0.002),
+        )
+        host, port = thread.start()
+        try:
+            with RiskRouteClient(host, port) as client:
+                # First ingest swaps o_h wholesale onto the corpus
+                # streaming model's field — only the *second* one
+                # exercises the delta path.
+                client.ingest([_tornado(37.5, -97.5, 2005)], token="seed")
+                client.pair(*MAINE)
+                client.pair(*KANSAS)
+                before = client.stats()["engine"]
+                assert before["cached_sweeps"] > 0
+
+                reply = client.ingest(
+                    [_tornado(38.5, -96.5, 2006)], token="second"
+                )
+                assert reply["changed"] is True
+                fingerprint = client.last_fingerprint
+
+                # The delta swap dropped only the dirty island's
+                # risk-weighted sweeps — not the whole cache.
+                swapped = client.stats()["engine"]
+                assert swapped["sweeps"]["invalidations"] > \
+                    before["sweeps"]["invalidations"]
+                assert 0 < swapped["cached_sweeps"] < before["cached_sweeps"]
+
+                # Maine's tornado density is exactly 0.0 before and
+                # after (the new event is far out of kernel reach), so
+                # its component is clean: pure cache — hit counters
+                # advance, nothing is recomputed or re-registered.
+                client.pair(*MAINE)
+                # Every post-ingest query reply carries the new
+                # fingerprint (stats replies are untagged).
+                assert client.last_fingerprint == fingerprint
+                mid = client.stats()["engine"]
+                assert mid["sweeps"]["hits"] > swapped["sweeps"]["hits"]
+                assert mid["cached_sweeps"] == swapped["cached_sweeps"]
+
+                # Kansas is dirty: its pair recomputes and re-registers
+                # the dropped sweep.
+                client.pair(*KANSAS)
+                assert client.last_fingerprint == fingerprint
+                after = client.stats()["engine"]
+                assert after["cached_sweeps"] > mid["cached_sweeps"]
+        finally:
+            thread.stop()
+
+    def test_post_ingest_answers_match_cold_session(self):
+        """Cache-served answers after the delta swap equal a cold
+        server started on the equivalent state (no stale replies)."""
+        def collect(warm_between):
+            clear_engine_registry()
+            thread = ServerThread(
+                RoutingSession(
+                    build_two_island_network(), build_two_island_model()
+                ),
+                ServerConfig(batch_linger=0.002),
+            )
+            host, port = thread.start()
+            try:
+                with RiskRouteClient(host, port) as client:
+                    client.ingest([_tornado(37.5, -97.5, 2005)], token="b1")
+                    if warm_between:
+                        # Memoize both islands so the second ingest's
+                        # delta swap answers Maine from cache.
+                        client.pair(*MAINE)
+                        client.pair(*KANSAS)
+                    client.ingest([_tornado(38.5, -96.5, 2006)], token="b2")
+                    replies = (client.pair(*MAINE), client.pair(*KANSAS))
+                    fingerprint = client.last_fingerprint
+            finally:
+                thread.stop()
+            return replies, fingerprint
+
+        warm, warm_fp = collect(warm_between=True)
+        cold, cold_fp = collect(warm_between=False)
+        assert warm == cold
+        assert warm_fp == cold_fp
+
+
+@pytest.mark.timeout(300)
+class TestShardedIngest:
+    def test_two_shard_barrier_and_fingerprint_consistency(self):
+        thread = ServerThread(
+            RoutingSession(build_diamond_network(), build_diamond_model()),
+            ServerConfig(batch_linger=0.002, shards=2),
+        )
+        host, port = thread.start()
+        pops = ("diamond:west", "diamond:east", "diamond:north",
+                "diamond:south")
+        try:
+            with RiskRouteClient(host, port) as client:
+                client.pair(pops[0], pops[1])
+                reply = client.ingest(
+                    [_tornado(37.5, -97.5, 2005)], token="shard-1"
+                )
+                assert reply["changed"] is True
+                fingerprint = client.last_fingerprint
+
+                # The barrier held: the pool agrees with the parent,
+                # and every shard-served reply carries the post-ingest
+                # fingerprint regardless of which shard answers.
+                stats = client.stats()
+                assert stats["shards"]["alive"] == 2
+                assert stats["shards"]["fingerprint"] == fingerprint
+                for source in pops:
+                    for target in pops:
+                        if source == target:
+                            continue
+                        client.pair(source, target)
+                        assert client.last_fingerprint == fingerprint
+
+                feed = client.subscribe(since=0)
+                assert feed["version"] == 1
+                assert feed["fingerprint"] == fingerprint
+                assert feed["changes"][0]["op"] == "ingest"
+        finally:
+            thread.stop()

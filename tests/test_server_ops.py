@@ -85,13 +85,19 @@ class TestRegistryShape:
         }
         # The protocol module's lazy views resolve to the same sets.
         assert set(protocol.OPS) == set(REGISTRY)
-        assert set(protocol.CONTROL_OPS) == {"update_forecast", "stats"}
+        assert set(protocol.CONTROL_OPS) == {
+            "update_forecast", "ingest", "stats", "subscribe",
+        }
 
     def test_barrier_and_retry_semantics(self):
         assert REGISTRY["update_forecast"].is_barrier
         assert not REGISTRY["update_forecast"].retry_safe
+        assert REGISTRY["ingest"].is_barrier
+        assert not REGISTRY["ingest"].retry_safe
         assert REGISTRY["stats"].is_barrier
         assert REGISTRY["stats"].retry_safe
+        assert REGISTRY["subscribe"].is_barrier
+        assert REGISTRY["subscribe"].retry_safe
         for name in (
             "route", "pair", "ratios", "provision", "scenario", "shared_risk",
         ):
